@@ -1,0 +1,88 @@
+// Fig. 9 — One-way delay vs per-UE throughput for Prague, BBRv2 and CUBIC
+// under a severely congested RAN: {16, 64} UEs x RLC queue {16384, 256
+// SDUs} x base RTT {38, 106} ms x channel {static, mobile} x {vanilla,
+// +L4Span}. Box statistics match the paper's plots (p10/p25/p50/p75/p90).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scenario/cell_scenario.h"
+
+using namespace l4span;
+
+namespace {
+
+struct cell_result {
+    stats::sample_set owd_ms;      // pooled over all UEs
+    stats::sample_set tput_mbps;   // one sample per UE
+};
+
+cell_result run_cell(const std::string& cca, int ues, std::size_t queue, double owd_ms,
+                     const std::string& channel, bool l4span_on, sim::tick duration)
+{
+    scenario::cell_spec cell;
+    cell.num_ues = ues;
+    cell.channel = channel;
+    cell.rlc_queue_sdus = queue;
+    cell.cu = l4span_on ? scenario::cu_mode::l4span : scenario::cu_mode::none;
+    cell.seed = 1000 + static_cast<std::uint64_t>(ues) + queue;
+    scenario::cell_scenario s(cell);
+    std::vector<int> handles;
+    for (int u = 0; u < ues; ++u) {
+        scenario::flow_spec f;
+        f.cca = cca;
+        f.ue = u;
+        f.wired_owd_ms = owd_ms;
+        f.max_cwnd = 1536 * 1024;  // Linux default-autotuned receive window
+        handles.push_back(s.add_flow(f));
+    }
+    s.run(duration);
+
+    cell_result r;
+    for (int h : handles) {
+        for (double v : s.owd_ms(h).raw()) r.owd_ms.add(v);
+        r.tput_mbps.add(s.goodput_mbps(h));
+    }
+    return r;
+}
+
+}  // namespace
+
+int main()
+{
+    benchutil::header("Fig. 9: TCP one-way delay vs per-UE throughput grid",
+                      "L4Span cuts Prague/CUBIC median OWD by ~98% (static), ~97% "
+                      "(mobile), BBRv2 by ~52%, at <10% median throughput cost");
+    const sim::tick duration = sim::from_sec(6);
+    for (const double rtt : {19.0, 53.0}) {          // one-way; ~38 / ~106 ms RTT
+        for (const std::size_t queue : {std::size_t{16384}, std::size_t{256}}) {
+            for (const int ues : {16, 64}) {
+                std::printf("\n--- %d UEs, RLC queue %zu SDUs, base RTT %.0f ms ---\n",
+                            ues, queue, 2 * rtt);
+                stats::table t({"cca", "chan", "L4Span", "OWD ms p10/p25/p50/p75/p90",
+                                "per-UE Mbit/s p10..p90", "OWD reduction"});
+                for (const std::string cca : {"prague", "bbr2", "cubic"}) {
+                    for (const std::string chan : {"static", "mobile"}) {
+                        double base_median = 0.0;
+                        for (const bool on : {false, true}) {
+                            const auto r =
+                                run_cell(cca, ues, queue, rtt, chan, on, duration);
+                            std::string reduction = "-";
+                            if (!on) {
+                                base_median = r.owd_ms.median();
+                            } else if (base_median > 0.0) {
+                                reduction = stats::table::num(
+                                    100.0 * (1.0 - r.owd_ms.median() / base_median), 1) +
+                                    "%";
+                            }
+                            t.add_row({cca, chan, on ? "+" : "-",
+                                       benchutil::box(r.owd_ms),
+                                       benchutil::box(r.tput_mbps, 2), reduction});
+                        }
+                    }
+                }
+                t.print();
+            }
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,29 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/sample_set.h"
+#include "stats/table.h"
+
+namespace l4span::benchutil {
+
+// "p10/p25/p50/p75/p90" summary the paper's box plots report.
+inline std::string box(const stats::sample_set& s, int precision = 1)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%.*f/%.*f/%.*f/%.*f/%.*f", precision,
+                  s.percentile(10), precision, s.percentile(25), precision, s.median(),
+                  precision, s.percentile(75), precision, s.percentile(90));
+    return buf;
+}
+
+inline void header(const char* title, const char* paper_ref)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n  reproduces: %s\n", title, paper_ref);
+    std::printf("================================================================\n");
+}
+
+}  // namespace l4span::benchutil

@@ -1,0 +1,62 @@
+// Video-conferencing example: eight users on one cell running SCReAM
+// (WebRTC-style self-clocked congestion control) while a neighbour runs a
+// bulk CUBIC download. Shows how L4Span keeps interactive RTT low without
+// starving the download — the paper's motivating workload.
+//
+//   $ ./video_call
+#include <cstdio>
+
+#include "scenario/cell_scenario.h"
+#include "stats/table.h"
+
+using namespace l4span;
+
+int main()
+{
+    stats::table out({"CU mode", "video RTT p50 (ms)", "video RTT p95 (ms)",
+                      "video rate (Mbit/s)", "download (Mbit/s)"});
+
+    for (const bool with_l4span : {false, true}) {
+        scenario::cell_spec cell;
+        cell.num_ues = 9;
+        cell.channel = "pedestrian";  // walking users
+        cell.cu = with_l4span ? scenario::cu_mode::l4span : scenario::cu_mode::none;
+        cell.seed = 7;
+        scenario::cell_scenario sim(cell);
+
+        // Eight video calls (UDP, L4S-capable via SCReAM).
+        std::vector<int> calls;
+        for (int u = 0; u < 8; ++u) {
+            scenario::flow_spec call;
+            call.cca = "scream";
+            call.ue = u;
+            call.wired_owd_ms = 10.0;
+            call.media_max_bps = 8e6;  // 1080p ceiling
+            calls.push_back(sim.add_flow(call));
+        }
+        // One neighbour saturating the cell with a classic download.
+        scenario::flow_spec dl;
+        dl.cca = "cubic";
+        dl.ue = 8;
+        const int hd = sim.add_flow(dl);
+
+        sim.run(sim::from_sec(12));
+
+        stats::sample_set rtt, rate;
+        for (int h : calls) {
+            for (double v : sim.rtt_ms(h).raw()) rtt.add(v);
+            rate.add(sim.goodput_mbps(h));
+        }
+        out.add_row({with_l4span ? "with L4Span" : "vanilla RAN",
+                     stats::table::num(rtt.median(), 1),
+                     stats::table::num(rtt.percentile(95), 1),
+                     stats::table::num(rate.median(), 2),
+                     stats::table::num(sim.goodput_mbps(hd), 2)});
+    }
+
+    std::puts("Video conferencing: 8 SCReAM calls + 1 CUBIC download, walking users\n");
+    out.print();
+    std::puts("\nWith L4Span the calls keep conversational latency even while the");
+    std::puts("classic download uses the remaining capacity of the cell.");
+    return 0;
+}

@@ -1,0 +1,57 @@
+// Web-browsing example: a long-lived video-on-demand stream plus a train of
+// short page-load transfers on the same phone. Without L4Span, every page
+// load queues behind the stream's bytes in the deep RLC buffer; with
+// L4Span, the buffer stays shallow and page loads finish ~4x faster
+// (Fig. 11's workload as an application story).
+//
+//   $ ./web_browsing
+#include <cstdio>
+
+#include "scenario/cell_scenario.h"
+#include "stats/table.h"
+
+using namespace l4span;
+
+int main()
+{
+    stats::table out({"CU mode", "page load p50 (ms)", "page load p90 (ms)",
+                      "stream rate (Mbit/s)"});
+
+    for (const bool with_l4span : {false, true}) {
+        scenario::cell_spec cell;
+        cell.num_ues = 1;
+        cell.channel = "static";
+        cell.cu = with_l4span ? scenario::cu_mode::l4span : scenario::cu_mode::none;
+        cell.seed = 15;
+        scenario::cell_scenario sim(cell);
+
+        scenario::flow_spec stream;
+        stream.cca = "cubic";  // classic video-on-demand CDN flow
+        const int hs = sim.add_flow(stream);
+
+        // Page clicks every 1.5 s: 48 kB of page assets each.
+        std::vector<int> pages;
+        for (int k = 0; k < 10; ++k) {
+            scenario::flow_spec page;
+            page.cca = "cubic";
+            page.flow_bytes = 48 * 1024;
+            page.start_time = sim::from_sec(3) + k * sim::from_ms(1500);
+            pages.push_back(sim.add_flow(page));
+        }
+        sim.run(sim::from_sec(20));
+
+        stats::sample_set fct;
+        for (int h : pages)
+            if (sim.fct_ms(h) >= 0) fct.add(sim.fct_ms(h));
+        out.add_row({with_l4span ? "with L4Span" : "vanilla RAN",
+                     fct.empty() ? "unfinished" : stats::table::num(fct.median(), 0),
+                     fct.empty() ? "unfinished" : stats::table::num(fct.percentile(90), 0),
+                     stats::table::num(sim.goodput_mbps(hs), 2)});
+    }
+
+    std::puts("Web browsing: page loads competing with a video stream on one phone\n");
+    out.print();
+    std::puts("\nShort flows no longer sit behind megabytes of streaming data in the");
+    std::puts("RLC queue, so interactions complete in a fraction of the time.");
+    return 0;
+}

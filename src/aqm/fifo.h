@@ -1,0 +1,43 @@
+// Tail-drop FIFO with a byte limit: the classic bloated middlebox queue.
+#pragma once
+
+#include <deque>
+
+#include "aqm/queue_discipline.h"
+
+namespace l4span::aqm {
+
+class fifo_queue : public queue_discipline {
+public:
+    explicit fifo_queue(std::size_t max_bytes = 1 << 22) : max_bytes_(max_bytes) {}
+
+    bool enqueue(net::packet p, sim::tick) override
+    {
+        if (bytes_ + p.size_bytes() > max_bytes_) {
+            ++drops_;
+            return false;
+        }
+        bytes_ += p.size_bytes();
+        q_.push_back(std::move(p));
+        return true;
+    }
+
+    std::optional<net::packet> dequeue(sim::tick) override
+    {
+        if (q_.empty()) return std::nullopt;
+        net::packet p = std::move(q_.front());
+        q_.pop_front();
+        bytes_ -= p.size_bytes();
+        return p;
+    }
+
+    std::size_t byte_count() const override { return bytes_; }
+    std::size_t packet_count() const override { return q_.size(); }
+
+private:
+    std::size_t max_bytes_;
+    std::size_t bytes_ = 0;
+    std::deque<net::packet> q_;
+};
+
+}  // namespace l4span::aqm

@@ -1,0 +1,37 @@
+// Queue discipline interface shared by wired-router queues and the CU-side
+// baselines (TC-RAN's CoDel/ECN-CoDel, the DualPi2 microbenchmark).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace l4span::aqm {
+
+class queue_discipline {
+public:
+    virtual ~queue_discipline() = default;
+
+    // Returns false when the packet is dropped at enqueue.
+    virtual bool enqueue(net::packet p, sim::tick now) = 0;
+
+    // Next packet to transmit, or nullopt when empty. AQM drop/mark
+    // decisions happen here (sojourn-time based).
+    virtual std::optional<net::packet> dequeue(sim::tick now) = 0;
+
+    virtual std::size_t byte_count() const = 0;
+    virtual std::size_t packet_count() const = 0;
+    bool empty() const { return packet_count() == 0; }
+
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t marks() const { return marks_; }
+
+protected:
+    std::uint64_t drops_ = 0;
+    std::uint64_t marks_ = 0;
+};
+
+}  // namespace l4span::aqm

@@ -1,0 +1,73 @@
+#include "core/egress_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l4span::core {
+
+void egress_estimator::on_queue_empty(sim::tick ts)
+{
+    if (idle_since_ < 0) idle_since_ = ts;
+}
+
+sim::tick egress_estimator::idle_in_window(sim::tick now) const
+{
+    const sim::tick begin = now - window_;
+    sim::tick idle = 0;
+    for (const auto& [b, e] : idle_spans_) {
+        const sim::tick lo = std::max(b, begin);
+        const sim::tick hi = std::min(e, now);
+        if (hi > lo) idle += hi - lo;
+    }
+    if (idle_since_ >= 0) {
+        const sim::tick lo = std::max(idle_since_, begin);
+        if (now > lo) idle += now - lo;
+    }
+    return std::min(idle, window_);
+}
+
+void egress_estimator::on_transmit(sim::tick ts, std::uint32_t bytes)
+{
+    // Close any open idle interval: the queue is being served again.
+    if (idle_since_ >= 0) {
+        if (ts > idle_since_) idle_spans_.emplace_back(idle_since_, ts);
+        idle_since_ = -1;
+    }
+    while (!idle_spans_.empty() && idle_spans_.front().second <= ts - window_)
+        idle_spans_.pop_front();
+
+    tx_events_.emplace_back(ts, bytes);
+    tx_window_bytes_ += bytes;
+    while (!tx_events_.empty() && tx_events_.front().first <= ts - window_) {
+        tx_window_bytes_ -= tx_events_.front().second;
+        tx_events_.pop_front();
+    }
+    // Eq. (3) over the trailing tau_c window, counting busy time only.
+    const sim::tick busy = std::max<sim::tick>(window_ - idle_in_window(ts),
+                                               window_ / 16);
+    last_instant_ = static_cast<double>(tx_window_bytes_) / sim::to_sec(busy);
+    rate_samples_.emplace_back(ts, last_instant_);
+    recompute(ts);
+}
+
+void egress_estimator::recompute(sim::tick now)
+{
+    while (!rate_samples_.empty() && rate_samples_.front().first <= now - window_)
+        rate_samples_.pop_front();
+    if (rate_samples_.empty()) {
+        rate_hat_ = rate_err_ = 0.0;
+        return;
+    }
+    // Eq. (4): mean over the window; e_hat: stddev over the same window.
+    double sum = 0.0, sum_sq = 0.0;
+    for (const auto& [ts, r] : rate_samples_) {
+        sum += r;
+        sum_sq += r * r;
+    }
+    const double n = static_cast<double>(rate_samples_.size());
+    rate_hat_ = sum / n;
+    const double var = sum_sq / n - rate_hat_ * rate_hat_;
+    rate_err_ = var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+}  // namespace l4span::core

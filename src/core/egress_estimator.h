@@ -1,0 +1,67 @@
+// Egress-rate estimation (§4.3.3, Eqs. (3) and (4)).
+//
+// On each transmit event the instantaneous rate r^T_k is the byte volume
+// transmitted in the trailing window tau_c divided by the *busy* portion of
+// tau_c; the smoothed estimate r_hat is the mean of the instantaneous
+// samples inside another tau_c window, and e_hat is their standard
+// deviation. All packets involved were transmitted within 2*tau_c = one
+// channel coherence time, during which the channel is assumed stable.
+//
+// Busy-time accounting: intervals during which the RLC queue stood empty
+// are excluded from the denominator. Otherwise an application-limited lull
+// (queue drained) would drag the rate estimate below the link's service
+// capacity, inflating the predicted sojourn and over-marking — a positive
+// feedback loop that traps classic senders at low rate. The paper's
+// evaluation never hits this corner because its classic queues "rarely
+// reach zero" (Fig. 17); the busy-period denominator makes the estimator
+// well-defined on the whole state space.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/time.h"
+
+namespace l4span::core {
+
+class egress_estimator {
+public:
+    // `window` is tau_c: half the configured channel coherence time.
+    explicit egress_estimator(sim::tick window) : window_(window) {}
+
+    // A packet of `bytes` was transmitted at `ts` (from the profile table).
+    void on_transmit(sim::tick ts, std::uint32_t bytes);
+
+    // The queue stood empty starting at `ts` (until the next transmit).
+    void on_queue_empty(sim::tick ts);
+
+    bool has_estimate() const { return !rate_samples_.empty(); }
+
+    // Smoothed egress rate r_hat (bytes/second), Eq. (4).
+    double rate_Bps() const { return rate_hat_; }
+
+    // Standard deviation e_hat of the instantaneous rate over the latest
+    // window (bytes/second).
+    double rate_err_Bps() const { return rate_err_; }
+
+    // Most recent instantaneous rate r^T_k, Eq. (3).
+    double instantaneous_Bps() const { return last_instant_; }
+
+    sim::tick window() const { return window_; }
+
+private:
+    void recompute(sim::tick now);
+    sim::tick idle_in_window(sim::tick now) const;
+
+    sim::tick window_;
+    std::deque<std::pair<sim::tick, std::uint32_t>> tx_events_;  // (ts, bytes)
+    std::uint64_t tx_window_bytes_ = 0;
+    std::deque<std::pair<sim::tick, sim::tick>> idle_spans_;     // [begin, end)
+    sim::tick idle_since_ = -1;  // open idle interval, -1 when busy
+    std::deque<std::pair<sim::tick, double>> rate_samples_;      // (ts, r^T)
+    double rate_hat_ = 0.0;
+    double rate_err_ = 0.0;
+    double last_instant_ = 0.0;
+};
+
+}  // namespace l4span::core

@@ -1,0 +1,254 @@
+#include "core/l4span.h"
+
+#include <algorithm>
+
+namespace l4span::core {
+
+namespace {
+std::uint32_t drb_key(ran::rnti_t ue, ran::drb_id_t drb)
+{
+    return (static_cast<std::uint32_t>(ue) << 8) | drb;
+}
+}  // namespace
+
+l4span::l4span(l4span_config cfg)
+    : cfg_(cfg),
+      k_const_(marking::aimd_constant(cfg.classic_beta)),
+      window_(cfg.coherence_time / 2),
+      rng_(cfg.seed)
+{
+}
+
+l4span::drb_state& l4span::drb(ran::rnti_t ue, ran::drb_id_t drb_id)
+{
+    const auto key = drb_key(ue, drb_id);
+    auto it = drbs_.find(key);
+    if (it == drbs_.end()) it = drbs_.emplace(key, drb_state(window_)).first;
+    return it->second;
+}
+
+const l4span::drb_state* l4span::find_drb(ran::rnti_t ue, ran::drb_id_t drb_id) const
+{
+    const auto it = drbs_.find(drb_key(ue, drb_id));
+    return it != drbs_.end() ? &it->second : nullptr;
+}
+
+sim::tick l4span::rtt_hat(const drb_state& d, const flow_state& flow) const
+{
+    // RTT_hat = RTT* + predicted sojourn; 2 * predicted sojourn when the
+    // handshake was not observable (UDP), §4.2.2. The sojourn term is capped
+    // at the target: Eq. (2) describes the intended operating point, and an
+    // uncapped bloated queue would deflate p quadratically — weakening the
+    // marking exactly when the queue most needs draining.
+    const sim::tick sojourn = std::min(d.predicted_sojourn, cfg_.sojourn_threshold);
+    if (flow.rtt_star >= 0) return flow.rtt_star + sojourn;
+    return 2 * std::max<sim::tick>(sojourn, sim::from_ms(1));
+}
+
+double l4span::flow_p_classic(const drb_state& d, const flow_state& flow) const
+{
+    // Overload brake: a queue far beyond target (slow-start overshoot, a
+    // channel collapse) is marked unconditionally so the sender's once-per-
+    // RTT reduction engages. Suspended while the backlog is already
+    // shrinking — the signal has worked and repeating it over-cuts.
+    if (d.predicted_sojourn > 3 * cfg_.sojourn_threshold && !d.draining) return 1.0;
+    const double p = marking::p_classic(cfg_.mss, k_const_, rtt_hat(d, flow),
+                                        d.estimator.rate_Bps());
+    // Eq. (2) matches the sender's average ingress to the RAN egress, which
+    // presumes a standing buffer (Fig. 4: the classic queue never drains to
+    // zero). Scale by the queue's predicted sojourn relative to the target:
+    // below target the flow is never suppressed before it builds its working
+    // buffer; above target the extra marking drains the backlog. The stable
+    // point sits at sojourn ~= tau_s with ingress matching egress.
+    const double occupancy = static_cast<double>(d.predicted_sojourn) /
+                             static_cast<double>(cfg_.sojourn_threshold);
+    return std::min(1.0, p * occupancy);
+}
+
+double l4span::mark_probability(const drb_state& d, const flow_state& flow) const
+{
+    if (!d.estimator.has_estimate()) return 0.0;
+    const bool mixed = d.has_l4s && d.has_classic;
+    const bool is_l4s = flow.cls == net::flow_class::l4s;
+
+    if (mixed) {
+        switch (cfg_.shared_policy) {
+        case shared_drb_policy::l4s_all: return d.p_l4s;
+        case shared_drb_policy::classic_all: return flow_p_classic(d, flow);
+        case shared_drb_policy::original:
+            return is_l4s ? d.p_l4s : flow_p_classic(d, flow);
+        case shared_drb_policy::coupled:
+            return is_l4s ? marking::p_l4s_coupled(flow_p_classic(d, flow), k_const_)
+                          : flow_p_classic(d, flow);
+        }
+    }
+    return is_l4s ? d.p_l4s : flow_p_classic(d, flow);
+}
+
+bool l4span::on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb_id,
+                          ran::pdcp_sn_t sn, sim::tick now)
+{
+    ++dl_events_;
+    drb_state& d = drb(ue, drb_id);
+
+    // --- five-tuple -> (UE, DRB) mapping and flow classification ---
+    flow_state& flow = flows_[pkt.ft];
+    flow.ue = ue;
+    flow.drb = drb_id;
+    if (net::is_ect(pkt.ecn_field)) {
+        // CE packets keep the class learned from earlier ECT codepoints.
+        flow.cls = net::classify(pkt.ecn_field);
+    } else if (pkt.ecn_field == net::ecn::not_ect && flow.cls == net::flow_class::non_ecn) {
+        flow.cls = net::flow_class::non_ecn;
+    }
+    if (flow.cls == net::flow_class::l4s) d.has_l4s = true;
+    if (flow.cls == net::flow_class::classic) d.has_classic = true;
+
+    // --- TCP bookkeeping: RTT*, AccECN negotiation, CWR observation ---
+    if (pkt.is_tcp()) {
+        const auto& h = *pkt.tcp;
+        if (h.flags.syn && !h.flags.ack) {
+            flow.syn_time = now;
+            flow.accecn = h.flags.ae;  // AccECN offered in the SYN
+        } else if (flow.syn_time >= 0 && flow.rtt_star < 0 && h.flags.ack &&
+                   pkt.payload_bytes == 0 && !h.flags.syn) {
+            // First forward packet after the SYN: the handshake-completing
+            // ACK. Interval = RTT* (§4.2.2).
+            flow.rtt_star = now - flow.syn_time;
+        }
+        if (h.flags.cwr) flow.ece_active = false;  // sender reacted (RFC 3168)
+    }
+
+    // --- profile the packet (§4.3.2) ---
+    d.table.on_ingress(sn, pkt.size_bytes(), now);
+
+    // --- marking decision ---
+    if (pkt.payload_bytes == 0) return true;  // control segments are not marked
+    const double p = mark_probability(d, flow);
+    const bool hit = rng_.bernoulli(p);
+
+    if (pkt.is_tcp() && cfg_.short_circuit) {
+        // Tentative mark: bookkeeping only; the signal is injected into the
+        // uplink ACK stream (§4.4), skipping the RLC queue's sojourn.
+        if (hit) {
+            ++marks_;
+            if (flow.accecn) {
+                flow.ce_pkts += 1;
+                flow.ce_bytes += pkt.payload_bytes;
+            } else {
+                flow.ece_active = true;
+            }
+        } else if (flow.accecn) {
+            if (pkt.ecn_field == net::ecn::ect1) flow.ect1_bytes += pkt.payload_bytes;
+            else flow.ect0_bytes += pkt.payload_bytes;
+        }
+        return true;
+    }
+
+    // Downlink marking path (UDP/QUIC flows, or TCP with short-circuiting
+    // disabled): set CE on the IP header, or drop for non-ECN flows.
+    if (hit) {
+        if (net::is_ect(pkt.ecn_field)) {
+            pkt.ecn_field = net::ecn::ce;
+            ++marks_;
+        } else if (pkt.ecn_field == net::ecn::not_ect && cfg_.drop_non_ecn) {
+            ++drops_;
+            return false;
+        }
+    }
+    return true;
+}
+
+bool l4span::on_ul_packet(net::packet& pkt, ran::rnti_t /*ue*/, sim::tick /*now*/)
+{
+    ++ul_events_;
+    if (!cfg_.short_circuit || !pkt.is_tcp_ack()) return true;
+
+    // Reverse-map the ACK to its downlink flow (§4.1).
+    const auto it = flows_.find(pkt.ft.reversed());
+    if (it == flows_.end()) return true;
+    const flow_state& flow = it->second;
+
+    auto& h = *pkt.tcp;
+    if (flow.accecn) {
+        // Overwrite the receiver's AccECN feedback with the CU's bookkeeping:
+        // the sender then reacts to RAN congestion one RLC sojourn earlier.
+        h.set_ace(static_cast<std::uint8_t>(flow.ce_pkts & 0x7));
+        h.accecn.present = true;
+        h.accecn.ee0b = flow.ect0_bytes & 0xffffff;
+        h.accecn.eceb = flow.ce_bytes & 0xffffff;
+        h.accecn.ee1b = flow.ect1_bytes & 0xffffff;
+    } else {
+        h.flags.ece = flow.ece_active;
+    }
+    return true;
+}
+
+void l4span::on_delivery_status(const ran::dl_delivery_status& st, sim::tick now)
+{
+    ++feedback_events_;
+    drb_state& d = drb(st.ue, st.drb);
+    if (st.has_transmitted) {
+        d.table.on_transmitted(st.highest_transmitted_sn, st.timestamp,
+                               [&](ran::pdcp_sn_t, std::uint32_t bytes) {
+                                   d.estimator.on_transmit(st.timestamp, bytes);
+                               });
+        // Busy-period accounting: a drained queue means subsequent silence
+        // is application-limited, not a capacity signal.
+        if (d.table.standing_bytes() == 0) d.estimator.on_queue_empty(st.timestamp);
+    }
+    if (st.has_delivered) d.table.on_delivered(st.highest_delivered_sn, st.timestamp);
+    refresh_marking(d);
+    d.table.prune(now, cfg_.prune_horizon);
+}
+
+void l4span::on_dl_discard(ran::rnti_t ue, ran::drb_id_t drb_id, ran::pdcp_sn_t sn,
+                           sim::tick /*now*/)
+{
+    drb(ue, drb_id).table.on_discard(sn);
+}
+
+void l4span::refresh_marking(drb_state& d)
+{
+    const std::uint64_t standing = d.table.standing_bytes();
+    d.draining = standing < d.prev_standing;
+    d.prev_standing = standing;
+    const double r_hat = d.estimator.rate_Bps();
+    // Eq. (5): predicted sojourn of the standing queue.
+    d.predicted_sojourn =
+        r_hat > 0.0
+            ? static_cast<sim::tick>(static_cast<double>(d.table.standing_bytes()) /
+                                     r_hat * sim::k_second)
+            : 0;
+    // Eq. (1).
+    d.p_l4s = marking::p_l4s(d.table.standing_bytes(), cfg_.sojourn_threshold, r_hat,
+                             cfg_.error_aware ? d.estimator.rate_err_Bps() : 0.0);
+}
+
+l4span::drb_view l4span::view(ran::rnti_t ue, ran::drb_id_t drb_id) const
+{
+    drb_view v;
+    const drb_state* d = find_drb(ue, drb_id);
+    if (!d) return v;
+    v.rate_hat_Bps = d->estimator.rate_Bps();
+    v.rate_err_Bps = d->estimator.rate_err_Bps();
+    v.predicted_sojourn = d->predicted_sojourn;
+    v.standing_bytes = d->table.standing_bytes();
+    v.p_l4s = d->p_l4s;
+    v.has_l4s = d->has_l4s;
+    v.has_classic = d->has_classic;
+    return v;
+}
+
+std::size_t l4span::resident_state_bytes() const
+{
+    std::size_t total = sizeof(*this);
+    for (const auto& [key, d] : drbs_) {
+        (void)key;
+        total += sizeof(drb_state) + d.table.size() * sizeof(profile_entry);
+    }
+    total += flows_.size() * (sizeof(net::five_tuple) + sizeof(flow_state));
+    return total;
+}
+
+}  // namespace l4span::core

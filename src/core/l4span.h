@@ -1,0 +1,134 @@
+// The L4Span layer (the paper's contribution, §4): one entity per cell in
+// the CU-UP, holding per-(UE, DRB) queue-prediction state and per-flow
+// feedback state. Implements ran::cu_hook, reacting to the three event
+// classes of §4.1:
+//   1. downlink datagram from the 5GC    -> classify, profile, (mark)
+//   2. RAN F1-U delivery status feedback -> estimate egress, update marking
+//   3. uplink ACK                        -> feedback short-circuiting
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/egress_estimator.h"
+#include "core/marking.h"
+#include "core/profile_table.h"
+#include "net/packet.h"
+#include "ran/cu_hook.h"
+#include "sim/rng.h"
+
+namespace l4span::core {
+
+// Marking strategy used when L4S and classic flows share one DRB (§6.2.6
+// evaluates all four; "coupled" is L4Span's design).
+enum class shared_drb_policy : std::uint8_t {
+    original,     // each flow keeps its class strategy, ignoring the sharing
+    l4s_all,      // everything marked with the L4S strategy
+    classic_all,  // everything marked with the classic strategy
+    coupled,      // p_l4s = (2/K) * sqrt(p_classic)   <- L4Span §4.2.3
+};
+
+struct l4span_config {
+    sim::tick sojourn_threshold = sim::from_ms(10);  // tau_s (§6.3.2 justifies 10 ms)
+    sim::tick coherence_time = sim::from_ms(24.9);   // from [78]; window = /2
+    bool short_circuit = true;       // rewrite uplink ACKs instead of DL marks (TCP)
+    bool drop_non_ecn = false;       // drop-based feedback for non-ECN flows
+    // Ablation knob: false forces e_hat = 0 in Eq. (1), reducing the L4S
+    // marker to a DualPi2-style step at the same threshold.
+    bool error_aware = true;
+    double classic_beta = 0.5;       // AIMD MD parameter in Eq. (2)'s K
+    std::uint32_t mss = 1400;
+    shared_drb_policy shared_policy = shared_drb_policy::coupled;
+    std::uint64_t seed = 7;
+    sim::tick prune_horizon = sim::from_sec(1);
+};
+
+class l4span : public ran::cu_hook {
+public:
+    explicit l4span(l4span_config cfg);
+
+    // --- ran::cu_hook ---
+    bool on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb,
+                      ran::pdcp_sn_t sn, sim::tick now) override;
+    bool on_ul_packet(net::packet& pkt, ran::rnti_t ue, sim::tick now) override;
+    void on_delivery_status(const ran::dl_delivery_status& st, sim::tick now) override;
+    void on_dl_discard(ran::rnti_t ue, ran::drb_id_t drb, ran::pdcp_sn_t sn,
+                       sim::tick now) override;
+
+    // --- introspection (tests, microbenchmarks) ---
+    struct drb_view {
+        double rate_hat_Bps = 0.0;
+        double rate_err_Bps = 0.0;
+        sim::tick predicted_sojourn = 0;
+        std::uint64_t standing_bytes = 0;
+        double p_l4s = 0.0;
+        bool has_l4s = false;
+        bool has_classic = false;
+    };
+    drb_view view(ran::rnti_t ue, ran::drb_id_t drb) const;
+
+    std::uint64_t marks() const { return marks_; }
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t dl_events() const { return dl_events_; }
+    std::uint64_t ul_events() const { return ul_events_; }
+    std::uint64_t feedback_events() const { return feedback_events_; }
+    const l4span_config& config() const { return cfg_; }
+
+    // Approximate resident state (Table 1 substitute).
+    std::size_t resident_state_bytes() const;
+
+private:
+    struct flow_state {
+        net::flow_class cls = net::flow_class::non_ecn;
+        bool accecn = false;
+        ran::rnti_t ue = 0;
+        ran::drb_id_t drb = 0;
+        // RTT* from the SYN -> handshake-ACK interval on the forward path.
+        sim::tick syn_time = -1;
+        sim::tick rtt_star = -1;
+        // Classic ECN: ECE latched on uplink ACKs until a downlink CWR.
+        bool ece_active = false;
+        // AccECN short-circuit bookkeeping (tentative marks, §4.4).
+        std::uint32_t ce_pkts = 5;  // ACE counter initial value
+        std::uint32_t ce_bytes = 0;
+        std::uint32_t ect0_bytes = 0;
+        std::uint32_t ect1_bytes = 0;
+    };
+
+    struct drb_state {
+        profile_table table;
+        egress_estimator estimator;
+        bool has_l4s = false;
+        bool has_classic = false;
+        sim::tick predicted_sojourn = 0;
+        double p_l4s = 0.0;
+        std::uint64_t prev_standing = 0;  // drain detection for the overload brake
+        bool draining = false;
+
+        explicit drb_state(sim::tick window) : estimator(window) {}
+    };
+
+    drb_state& drb(ran::rnti_t ue, ran::drb_id_t drb_id);
+    const drb_state* find_drb(ran::rnti_t ue, ran::drb_id_t drb_id) const;
+    void refresh_marking(drb_state& d);
+    // Probability applicable to `flow` given the DRB's flow mix and policy.
+    double mark_probability(const drb_state& d, const flow_state& flow) const;
+    double flow_p_classic(const drb_state& d, const flow_state& flow) const;
+    sim::tick rtt_hat(const drb_state& d, const flow_state& flow) const;
+
+    l4span_config cfg_;
+    double k_const_;
+    sim::tick window_;  // tau_c = coherence_time / 2
+    sim::rng rng_;
+
+    std::unordered_map<std::uint32_t, drb_state> drbs_;  // key: (ue << 8) | drb
+    std::unordered_map<net::five_tuple, flow_state, net::five_tuple_hash> flows_;
+
+    std::uint64_t marks_ = 0;
+    std::uint64_t drops_ = 0;
+    std::uint64_t dl_events_ = 0;
+    std::uint64_t ul_events_ = 0;
+    std::uint64_t feedback_events_ = 0;
+};
+
+}  // namespace l4span::core

@@ -1,0 +1,42 @@
+#include "core/marking.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l4span::core::marking {
+
+double aimd_constant(double beta)
+{
+    return (1.0 + beta) / 2.0 * std::sqrt(2.0 / (1.0 - beta * beta));
+}
+
+double phi(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double p_l4s(std::uint64_t n_queue_bytes, sim::tick tau_thr, double rate_hat_Bps,
+             double rate_err_Bps)
+{
+    if (rate_hat_Bps <= 0.0) return 0.0;  // no estimate yet: do not mark
+    const double required = static_cast<double>(n_queue_bytes) / sim::to_sec(tau_thr);
+    if (rate_err_Bps <= 0.0) return required > rate_hat_Bps ? 1.0 : 0.0;  // DualPi2 step
+    return phi((required - rate_hat_Bps) / rate_err_Bps);
+}
+
+double p_classic(std::uint32_t mss_bytes, double k_const, sim::tick rtt_hat,
+                 double rate_hat_Bps)
+{
+    if (rate_hat_Bps <= 0.0 || rtt_hat <= 0) return 0.0;
+    const double ratio =
+        static_cast<double>(mss_bytes) * k_const / (sim::to_sec(rtt_hat) * rate_hat_Bps);
+    return std::clamp(ratio * ratio, 0.0, 1.0);
+}
+
+double p_l4s_coupled(double p_classic_value, double k_const)
+{
+    const double alpha = 2.0 / k_const;
+    return std::clamp(alpha * std::sqrt(std::max(0.0, p_classic_value)), 0.0, 1.0);
+}
+
+}  // namespace l4span::core::marking

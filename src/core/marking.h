@@ -1,0 +1,39 @@
+// L4Span's marking strategies (§4.2).
+//
+//  * L4S-only DRB, Eq. (1): mark with the probability that the true egress
+//    rate fails the sojourn threshold, under a Gaussian error model around
+//    the estimate — p = Phi((N_queue/tau_thr - r_hat)/e_hat). With e_hat = 0
+//    this degenerates to DualPi2's step.
+//  * Classic-only DRB, Eq. (2): match the AIMD throughput model
+//    r = MSS*K/(RTT*sqrt(p)) to the predicted egress rate.
+//  * Shared DRB (§4.2.3): keep p_classic, couple p_l4s = alpha*sqrt(p_classic)
+//    with alpha = 2/K, the solution of r_L4S = r_classic at equal RTT.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace l4span::core::marking {
+
+// K = (1+beta)/2 * sqrt(2/(1-beta^2)) from the Padhye/Mathis AIMD model;
+// beta = 0.5 (Reno) gives K = sqrt(3/2).
+double aimd_constant(double beta);
+
+// Standard normal CDF.
+double phi(double x);
+
+// Eq. (1). `n_queue_bytes` is the standing queue, `tau_thr` the sojourn
+// threshold, rates in bytes/second. Returns a probability in [0, 1].
+double p_l4s(std::uint64_t n_queue_bytes, sim::tick tau_thr, double rate_hat_Bps,
+             double rate_err_Bps);
+
+// Eq. (2). `rtt_hat` is RTT* + predicted sojourn (or 2*predicted sojourn for
+// UDP). Returns a probability in [0, 1].
+double p_classic(std::uint32_t mss_bytes, double k_const, sim::tick rtt_hat,
+                 double rate_hat_Bps);
+
+// §4.2.3 coupling for a DRB shared by both flow types.
+double p_l4s_coupled(double p_classic_value, double k_const);
+
+}  // namespace l4span::core::marking

@@ -1,0 +1,88 @@
+#include "core/profile_table.h"
+
+namespace l4span::core {
+
+void profile_table::on_ingress(ran::pdcp_sn_t sn, std::uint32_t bytes, sim::tick now)
+{
+    if (!has_entries_) {
+        first_sn_ = sn;
+        has_entries_ = true;
+    }
+    profile_entry e;
+    e.sn = sn;
+    e.bytes = bytes;
+    e.t_ingress = now;
+    entries_.push_back(e);
+    standing_bytes_ += bytes;
+    standing_packets_ += 1;
+}
+
+void profile_table::on_transmitted(ran::pdcp_sn_t highest_sn, sim::tick ts,
+                                   const std::function<void(ran::pdcp_sn_t, std::uint32_t)>& txed)
+{
+    if (!has_entries_) return;
+    while (tx_cursor_ < entries_.size() && entries_[tx_cursor_].sn <= highest_sn) {
+        profile_entry& e = entries_[tx_cursor_];
+        if (!e.discarded) {
+            e.t_transmitted = ts;
+            standing_bytes_ -= e.bytes;
+            standing_packets_ -= 1;
+            if (txed) txed(e.sn, e.bytes);
+        }
+        ++tx_cursor_;
+    }
+}
+
+void profile_table::on_delivered(ran::pdcp_sn_t highest_sn, sim::tick ts)
+{
+    for (auto& e : entries_) {
+        if (e.sn > highest_sn) break;
+        if (e.t_delivered < 0 && !e.discarded) e.t_delivered = ts;
+    }
+}
+
+void profile_table::on_discard(ran::pdcp_sn_t sn)
+{
+    if (!has_entries_ || sn < first_sn_) return;
+    const std::size_t idx = sn - first_sn_;
+    if (idx >= entries_.size()) return;
+    profile_entry& e = entries_[idx];
+    if (e.discarded) return;
+    if (e.t_transmitted < 0) {
+        standing_bytes_ -= e.bytes;
+        standing_packets_ -= 1;
+    }
+    e.discarded = true;
+}
+
+sim::tick profile_table::head_age(sim::tick now) const
+{
+    for (std::size_t i = tx_cursor_; i < entries_.size(); ++i) {
+        if (!entries_[i].discarded) return now - entries_[i].t_ingress;
+    }
+    return 0;
+}
+
+const profile_entry* profile_table::find(ran::pdcp_sn_t sn) const
+{
+    if (!has_entries_ || sn < first_sn_) return nullptr;
+    const std::size_t idx = sn - first_sn_;
+    if (idx >= entries_.size()) return nullptr;
+    return &entries_[idx];
+}
+
+void profile_table::prune(sim::tick now, sim::tick horizon)
+{
+    while (!entries_.empty() && tx_cursor_ > 0) {
+        const profile_entry& e = entries_.front();
+        const bool settled = e.discarded || e.t_transmitted >= 0;
+        if (!settled) break;
+        const sim::tick ref = e.t_delivered >= 0 ? e.t_delivered : e.t_transmitted;
+        if (ref >= 0 && now - ref < horizon) break;
+        entries_.pop_front();
+        ++first_sn_;
+        --tx_cursor_;
+    }
+}
+
+}  // namespace l4span::core

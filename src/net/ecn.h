@@ -1,0 +1,59 @@
+// ECN codepoints (RFC 3168 / RFC 9331) and L4S-vs-classic identification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace l4span::net {
+
+enum class ecn : std::uint8_t {
+    not_ect = 0b00,  // not ECN-capable
+    ect1 = 0b01,     // ECT(1): L4S identifier (RFC 9331)
+    ect0 = 0b10,     // ECT(0): classic ECN
+    ce = 0b11,       // congestion experienced
+};
+
+// Traffic class seen by the marker, derived from the ECN field of arriving
+// downlink packets (§4.1 of the paper).
+enum class flow_class : std::uint8_t {
+    non_ecn,  // not ECN-capable: feedback only possible by dropping
+    classic,  // ECT(0)
+    l4s,      // ECT(1)
+};
+
+constexpr bool is_ect(ecn e) { return e == ecn::ect0 || e == ecn::ect1; }
+constexpr bool is_ce(ecn e) { return e == ecn::ce; }
+
+constexpr flow_class classify(ecn e)
+{
+    switch (e) {
+    case ecn::ect1: return flow_class::l4s;
+    case ecn::ect0: return flow_class::classic;
+    case ecn::ce: return flow_class::classic;  // conservative: CE set upstream
+    case ecn::not_ect:
+    default: return flow_class::non_ecn;
+    }
+}
+
+inline std::string to_string(ecn e)
+{
+    switch (e) {
+    case ecn::not_ect: return "Not-ECT";
+    case ecn::ect1: return "ECT(1)";
+    case ecn::ect0: return "ECT(0)";
+    case ecn::ce: return "CE";
+    }
+    return "?";
+}
+
+inline std::string to_string(flow_class c)
+{
+    switch (c) {
+    case flow_class::non_ecn: return "non-ECN";
+    case flow_class::classic: return "classic";
+    case flow_class::l4s: return "L4S";
+    }
+    return "?";
+}
+
+}  // namespace l4span::net

@@ -1,0 +1,25 @@
+#include "net/five_tuple.h"
+
+#include <cstdio>
+
+namespace l4span::net {
+
+namespace {
+std::string ip_str(std::uint32_t ip)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                  (ip >> 8) & 0xff, ip & 0xff);
+    return buf;
+}
+}  // namespace
+
+std::string five_tuple::to_string() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s:%u->%s:%u/%s", ip_str(src_ip).c_str(), src_port,
+                  ip_str(dst_ip).c_str(), dst_port, proto == ip_proto::tcp ? "tcp" : "udp");
+    return buf;
+}
+
+}  // namespace l4span::net

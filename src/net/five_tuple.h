@@ -1,0 +1,44 @@
+// The flow key L4Span uses to map packets to (UE, DRB) state (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace l4span::net {
+
+enum class ip_proto : std::uint8_t {
+    tcp = 6,
+    udp = 17,
+};
+
+struct five_tuple {
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint16_t src_port = 0;
+    std::uint16_t dst_port = 0;
+    ip_proto proto = ip_proto::tcp;
+
+    bool operator==(const five_tuple&) const = default;
+
+    // Key of the flow in the reverse (uplink / ACK) direction.
+    five_tuple reversed() const
+    {
+        return {dst_ip, src_ip, dst_port, src_port, proto};
+    }
+
+    std::string to_string() const;
+};
+
+struct five_tuple_hash {
+    std::size_t operator()(const five_tuple& t) const
+    {
+        std::uint64_t h = t.src_ip;
+        h = h * 0x100000001b3ull ^ t.dst_ip;
+        h = h * 0x100000001b3ull ^ (static_cast<std::uint64_t>(t.src_port) << 16 | t.dst_port);
+        h = h * 0x100000001b3ull ^ static_cast<std::uint64_t>(t.proto);
+        return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+};
+
+}  // namespace l4span::net

@@ -1,0 +1,99 @@
+// Structural packet model used throughout the simulation.
+//
+// Payload bytes are not materialized (only their count); header fields are
+// kept structurally so AQMs, the RAN and L4Span can read/rewrite them in O(1).
+// `net/wire.h` can serialize any packet to real IPv4/TCP/UDP bytes with valid
+// checksums — the serialization path is what L4Span's header-rewriting code
+// is tested against.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/ecn.h"
+#include "net/five_tuple.h"
+#include "sim/time.h"
+
+namespace l4span::net {
+
+inline constexpr std::uint32_t k_ipv4_header_bytes = 20;
+inline constexpr std::uint32_t k_tcp_header_bytes = 20;
+inline constexpr std::uint32_t k_udp_header_bytes = 8;
+inline constexpr std::uint32_t k_accecn_option_bytes = 12;  // kind+len+3x24-bit counters
+
+struct tcp_flags {
+    bool syn = false;
+    bool ack = false;
+    bool fin = false;
+    bool ece = false;  // ECN-Echo (RFC 3168)
+    bool cwr = false;  // Congestion Window Reduced
+    bool ae = false;   // Accurate-ECN bit (with CWR+ECE forms the 3-bit ACE field)
+};
+
+// AccECN option (draft-ietf-tcpm-accurate-ecn): cumulative byte counters the
+// receiver echoes; L4Span rewrites these during feedback short-circuiting.
+struct accecn_option {
+    bool present = false;
+    std::uint32_t ee0b = 0;  // bytes received with ECT(0)
+    std::uint32_t eceb = 0;  // bytes received with CE
+    std::uint32_t ee1b = 0;  // bytes received with ECT(1)
+};
+
+struct tcp_header {
+    std::uint32_t seq = 0;
+    std::uint32_t ack_seq = 0;
+    tcp_flags flags;
+    std::uint16_t window = 65535;
+    accecn_option accecn;
+
+    // 3-bit ACE counter (AE,CWR,ECE interpreted as a counter of CE packets
+    // modulo 8) when the connection negotiated AccECN.
+    std::uint8_t ace() const
+    {
+        return static_cast<std::uint8_t>((flags.ae << 2) | (flags.cwr << 1) |
+                                         (flags.ece ? 1 : 0));
+    }
+    void set_ace(std::uint8_t v)
+    {
+        flags.ae = (v & 0b100) != 0;
+        flags.cwr = (v & 0b010) != 0;
+        flags.ece = (v & 0b001) != 0;
+    }
+
+    std::uint32_t header_bytes() const
+    {
+        return k_tcp_header_bytes + (accecn.present ? k_accecn_option_bytes : 0);
+    }
+};
+
+struct packet {
+    five_tuple ft;
+    ecn ecn_field = ecn::not_ect;
+    std::uint8_t dscp = 0;
+    std::optional<tcp_header> tcp;
+    std::uint32_t payload_bytes = 0;
+
+    // --- simulation metadata (not on the wire) ---
+    std::uint64_t flow_id = 0;   // scenario-level flow identity
+    std::uint64_t pkt_id = 0;    // per-flow monotone id
+    sim::tick sent_time = -1;    // stamped by the original sender (for OWD)
+    sim::tick ran_ingress = -1;  // stamped when entering the CU (delay breakdown)
+    // Opaque application payload (e.g., RTP feedback reports). Models bytes
+    // inside the UDP payload, which middleboxes like L4Span cannot parse.
+    std::shared_ptr<const void> app_data;
+
+    bool is_tcp() const { return ft.proto == ip_proto::tcp && tcp.has_value(); }
+    bool is_udp() const { return ft.proto == ip_proto::udp; }
+    bool is_tcp_ack() const { return is_tcp() && tcp->flags.ack; }
+
+    // Total wire size: IP header + transport header + payload.
+    std::uint32_t size_bytes() const
+    {
+        std::uint32_t transport =
+            is_tcp() ? tcp->header_bytes() : (is_udp() ? k_udp_header_bytes : 0);
+        return k_ipv4_header_bytes + transport + payload_bytes;
+    }
+};
+
+}  // namespace l4span::net

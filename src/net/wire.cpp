@@ -1,0 +1,273 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace l4span::net::wire {
+
+namespace {
+
+void put16(std::vector<std::uint8_t>& b, std::size_t off, std::uint16_t v)
+{
+    b[off] = static_cast<std::uint8_t>(v >> 8);
+    b[off + 1] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+void put32(std::vector<std::uint8_t>& b, std::size_t off, std::uint32_t v)
+{
+    b[off] = static_cast<std::uint8_t>(v >> 24);
+    b[off + 1] = static_cast<std::uint8_t>(v >> 16);
+    b[off + 2] = static_cast<std::uint8_t>(v >> 8);
+    b[off + 3] = static_cast<std::uint8_t>(v & 0xff);
+}
+
+std::uint16_t get16(const std::uint8_t* b) { return static_cast<std::uint16_t>(b[0] << 8 | b[1]); }
+std::uint32_t get32(const std::uint8_t* b)
+{
+    return static_cast<std::uint32_t>(b[0]) << 24 | static_cast<std::uint32_t>(b[1]) << 16 |
+           static_cast<std::uint32_t>(b[2]) << 8 | b[3];
+}
+
+// Pseudo-header sum for TCP/UDP checksums.
+std::uint32_t pseudo_header_sum(const std::uint8_t* ip_hdr, std::uint16_t transport_len)
+{
+    std::uint32_t sum = 0;
+    sum += get16(ip_hdr + 12);  // src ip hi
+    sum += get16(ip_hdr + 14);  // src ip lo
+    sum += get16(ip_hdr + 16);  // dst ip hi
+    sum += get16(ip_hdr + 18);  // dst ip lo
+    sum += ip_hdr[9];           // protocol
+    sum += transport_len;
+    return sum;
+}
+
+constexpr std::uint8_t k_accecn_option_kind = 0xAC;  // experimental AccECN option id
+
+void finish_transport_checksum(std::vector<std::uint8_t>& b, std::size_t ip_off,
+                               std::size_t transport_off, std::size_t checksum_off)
+{
+    const std::uint16_t transport_len =
+        static_cast<std::uint16_t>(b.size() - transport_off);
+    put16(b, checksum_off, 0);
+    const std::uint32_t ph = pseudo_header_sum(b.data() + ip_off, transport_len);
+    const std::uint16_t csum = internet_checksum(b.data() + transport_off, transport_len, ph);
+    put16(b, checksum_off, csum);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len, std::uint32_t initial)
+{
+    std::uint32_t sum = initial;
+    std::size_t i = 0;
+    for (; i + 1 < len; i += 2) sum += static_cast<std::uint32_t>(data[i] << 8 | data[i + 1]);
+    if (i < len) sum += static_cast<std::uint32_t>(data[i] << 8);
+    while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::vector<std::uint8_t> serialize(const packet& p)
+{
+    const std::uint32_t transport_hdr =
+        p.is_tcp() ? p.tcp->header_bytes() : (p.is_udp() ? k_udp_header_bytes : 0);
+    const std::size_t total = k_ipv4_header_bytes + transport_hdr + p.payload_bytes;
+    std::vector<std::uint8_t> b(total, 0);
+
+    // --- IPv4 header ---
+    b[0] = 0x45;  // version 4, IHL 5
+    b[1] = static_cast<std::uint8_t>((p.dscp << 2) | static_cast<std::uint8_t>(p.ecn_field));
+    put16(b, 2, static_cast<std::uint16_t>(total));
+    b[8] = 64;  // TTL
+    b[9] = static_cast<std::uint8_t>(p.ft.proto);
+    put32(b, 12, p.ft.src_ip);
+    put32(b, 16, p.ft.dst_ip);
+    put16(b, 10, 0);
+    put16(b, 10, internet_checksum(b.data(), k_ipv4_header_bytes));
+
+    const std::size_t t = k_ipv4_header_bytes;
+    if (p.is_tcp()) {
+        const auto& h = *p.tcp;
+        put16(b, t + 0, p.ft.src_port);
+        put16(b, t + 2, p.ft.dst_port);
+        put32(b, t + 4, h.seq);
+        put32(b, t + 8, h.ack_seq);
+        const std::uint8_t data_offset_words =
+            static_cast<std::uint8_t>(h.header_bytes() / 4);
+        b[t + 12] = static_cast<std::uint8_t>(data_offset_words << 4);
+        std::uint8_t flags = 0;
+        if (h.flags.fin) flags |= 0x01;
+        if (h.flags.syn) flags |= 0x02;
+        if (h.flags.ack) flags |= 0x10;
+        if (h.flags.ece) flags |= 0x40;
+        if (h.flags.cwr) flags |= 0x80;
+        if (h.flags.ae) b[t + 12] |= 0x01;  // AE lives in the old NS bit position
+        b[t + 13] = flags;
+        put16(b, t + 14, h.window);
+        if (h.accecn.present) {
+            const std::size_t o = t + k_tcp_header_bytes;
+            b[o] = k_accecn_option_kind;
+            b[o + 1] = 11;  // kind + len + 3 x 24-bit counters; padded to 12 with a NOP
+            b[o + 2] = static_cast<std::uint8_t>(h.accecn.ee0b >> 16);
+            b[o + 3] = static_cast<std::uint8_t>(h.accecn.ee0b >> 8);
+            b[o + 4] = static_cast<std::uint8_t>(h.accecn.ee0b);
+            b[o + 5] = static_cast<std::uint8_t>(h.accecn.eceb >> 16);
+            b[o + 6] = static_cast<std::uint8_t>(h.accecn.eceb >> 8);
+            b[o + 7] = static_cast<std::uint8_t>(h.accecn.eceb);
+            b[o + 8] = static_cast<std::uint8_t>(h.accecn.ee1b >> 16);
+            b[o + 9] = static_cast<std::uint8_t>(h.accecn.ee1b >> 8);
+            b[o + 10] = static_cast<std::uint8_t>(h.accecn.ee1b);
+            b[o + 11] = 0x01;  // NOP pad
+        }
+        finish_transport_checksum(b, 0, t, t + 16);
+    } else if (p.is_udp()) {
+        put16(b, t + 0, p.ft.src_port);
+        put16(b, t + 2, p.ft.dst_port);
+        put16(b, t + 4, static_cast<std::uint16_t>(k_udp_header_bytes + p.payload_bytes));
+        finish_transport_checksum(b, 0, t, t + 6);
+    }
+    return b;
+}
+
+bool parse(const std::uint8_t* data, std::size_t len, packet& out)
+{
+    if (len < k_ipv4_header_bytes) return false;
+    if ((data[0] >> 4) != 4) return false;
+    const std::size_t ihl = static_cast<std::size_t>(data[0] & 0x0f) * 4;
+    if (ihl < k_ipv4_header_bytes || len < ihl) return false;
+    const std::size_t total = get16(data + 2);
+    if (total > len) return false;
+
+    out = packet{};
+    out.dscp = data[1] >> 2;
+    out.ecn_field = static_cast<ecn>(data[1] & 0x03);
+    out.ft.proto = static_cast<ip_proto>(data[9]);
+    out.ft.src_ip = get32(data + 12);
+    out.ft.dst_ip = get32(data + 16);
+
+    const std::uint8_t* t = data + ihl;
+    const std::size_t tlen = total - ihl;
+    if (out.ft.proto == ip_proto::tcp) {
+        if (tlen < k_tcp_header_bytes) return false;
+        tcp_header h;
+        out.ft.src_port = get16(t + 0);
+        out.ft.dst_port = get16(t + 2);
+        h.seq = get32(t + 4);
+        h.ack_seq = get32(t + 8);
+        const std::size_t doff = static_cast<std::size_t>(t[12] >> 4) * 4;
+        if (doff < k_tcp_header_bytes || tlen < doff) return false;
+        h.flags.ae = (t[12] & 0x01) != 0;
+        h.flags.fin = (t[13] & 0x01) != 0;
+        h.flags.syn = (t[13] & 0x02) != 0;
+        h.flags.ack = (t[13] & 0x10) != 0;
+        h.flags.ece = (t[13] & 0x40) != 0;
+        h.flags.cwr = (t[13] & 0x80) != 0;
+        h.window = get16(t + 14);
+        // Scan options for AccECN.
+        std::size_t o = k_tcp_header_bytes;
+        while (o < doff) {
+            const std::uint8_t kind = t[o];
+            if (kind == 0) break;
+            if (kind == 1) {
+                ++o;
+                continue;
+            }
+            if (o + 1 >= doff) break;
+            const std::uint8_t olen = t[o + 1];
+            if (olen < 2 || o + olen > doff) break;
+            if (kind == k_accecn_option_kind && olen >= 11) {
+                h.accecn.present = true;
+                h.accecn.ee0b = static_cast<std::uint32_t>(t[o + 2]) << 16 |
+                                static_cast<std::uint32_t>(t[o + 3]) << 8 | t[o + 4];
+                h.accecn.eceb = static_cast<std::uint32_t>(t[o + 5]) << 16 |
+                                static_cast<std::uint32_t>(t[o + 6]) << 8 | t[o + 7];
+                h.accecn.ee1b = static_cast<std::uint32_t>(t[o + 8]) << 16 |
+                                static_cast<std::uint32_t>(t[o + 9]) << 8 | t[o + 10];
+            }
+            o += olen;
+        }
+        out.tcp = h;
+        out.payload_bytes = static_cast<std::uint32_t>(tlen - doff);
+    } else if (out.ft.proto == ip_proto::udp) {
+        if (tlen < k_udp_header_bytes) return false;
+        out.ft.src_port = get16(t + 0);
+        out.ft.dst_port = get16(t + 2);
+        out.payload_bytes = static_cast<std::uint32_t>(get16(t + 4) - k_udp_header_bytes);
+    } else {
+        out.payload_bytes = static_cast<std::uint32_t>(tlen);
+    }
+    return true;
+}
+
+bool verify_checksums(const std::uint8_t* data, std::size_t len)
+{
+    if (len < k_ipv4_header_bytes) return false;
+    const std::size_t ihl = static_cast<std::size_t>(data[0] & 0x0f) * 4;
+    if (len < ihl) return false;
+    if (internet_checksum(data, ihl) != 0) return false;
+
+    const std::size_t total = get16(data + 2);
+    if (total > len || total < ihl) return false;
+    const std::uint8_t proto = data[9];
+    if (proto != static_cast<std::uint8_t>(ip_proto::tcp) &&
+        proto != static_cast<std::uint8_t>(ip_proto::udp))
+        return true;
+    const std::uint16_t tlen = static_cast<std::uint16_t>(total - ihl);
+    const std::uint32_t ph = pseudo_header_sum(data, tlen);
+    return internet_checksum(data + ihl, tlen, ph) == 0;
+}
+
+void remark_ecn(std::vector<std::uint8_t>& bytes, ecn new_ecn)
+{
+    if (bytes.size() < k_ipv4_header_bytes) return;
+    bytes[1] = static_cast<std::uint8_t>((bytes[1] & 0xfc) | static_cast<std::uint8_t>(new_ecn));
+    const std::size_t ihl = static_cast<std::size_t>(bytes[0] & 0x0f) * 4;
+    put16(bytes, 10, 0);
+    put16(bytes, 10, internet_checksum(bytes.data(), ihl));
+}
+
+void rewrite_tcp_ecn_feedback(std::vector<std::uint8_t>& bytes, std::uint8_t ace,
+                              const accecn_option& opt)
+{
+    if (bytes.size() < k_ipv4_header_bytes + k_tcp_header_bytes) return;
+    const std::size_t ihl = static_cast<std::size_t>(bytes[0] & 0x0f) * 4;
+    const std::size_t t = ihl;
+    // ACE bits: AE (NS position), CWR, ECE.
+    bytes[t + 12] = static_cast<std::uint8_t>((bytes[t + 12] & 0xfe) | ((ace >> 2) & 1));
+    bytes[t + 13] = static_cast<std::uint8_t>((bytes[t + 13] & 0x3f) | ((ace & 0b010) ? 0x80 : 0) |
+                                              ((ace & 0b001) ? 0x40 : 0));
+    if (opt.present) {
+        const std::size_t doff = static_cast<std::size_t>(bytes[t + 12] >> 4) * 4;
+        std::size_t o = t + k_tcp_header_bytes;
+        const std::size_t end = t + doff;
+        while (o < end && o + 1 < bytes.size()) {
+            const std::uint8_t kind = bytes[o];
+            if (kind == 0) break;
+            if (kind == 1) {
+                ++o;
+                continue;
+            }
+            const std::uint8_t olen = bytes[o + 1];
+            if (olen < 2) break;
+            if (kind == k_accecn_option_kind && olen >= 11) {
+                bytes[o + 2] = static_cast<std::uint8_t>(opt.ee0b >> 16);
+                bytes[o + 3] = static_cast<std::uint8_t>(opt.ee0b >> 8);
+                bytes[o + 4] = static_cast<std::uint8_t>(opt.ee0b);
+                bytes[o + 5] = static_cast<std::uint8_t>(opt.eceb >> 16);
+                bytes[o + 6] = static_cast<std::uint8_t>(opt.eceb >> 8);
+                bytes[o + 7] = static_cast<std::uint8_t>(opt.eceb);
+                bytes[o + 8] = static_cast<std::uint8_t>(opt.ee1b >> 16);
+                bytes[o + 9] = static_cast<std::uint8_t>(opt.ee1b >> 8);
+                bytes[o + 10] = static_cast<std::uint8_t>(opt.ee1b);
+                break;
+            }
+            o += olen;
+        }
+    }
+    // Recompute the TCP checksum over the whole segment.
+    const std::size_t total = get16(bytes.data() + 2);
+    const std::uint16_t tlen = static_cast<std::uint16_t>(total - ihl);
+    put16(bytes, t + 16, 0);
+    const std::uint32_t ph = pseudo_header_sum(bytes.data(), tlen);
+    put16(bytes, t + 16, internet_checksum(bytes.data() + t, tlen, ph));
+}
+
+}  // namespace l4span::net::wire

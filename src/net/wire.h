@@ -1,0 +1,42 @@
+// Real-bytes serialization of the structural packet model.
+//
+// L4Span's deployment claim depends on rewriting live headers: ECN bits in
+// the IP header (with IP checksum update) and ECE/CWR/ACE plus the AccECN
+// option in TCP ACKs (with TCP checksum update). This module implements and
+// tests those rewrites against genuine RFC 791/793/1071 encodings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace l4span::net::wire {
+
+// Internet checksum (RFC 1071) over `data`; returns the 16-bit one's
+// complement sum ready to store in a header checksum field.
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len,
+                                std::uint32_t initial = 0);
+
+// Serializes IP + transport headers + zeroed payload into real bytes with
+// valid checksums.
+std::vector<std::uint8_t> serialize(const packet& p);
+
+// Parses bytes produced by serialize() back into a structural packet
+// (payload content ignored; length preserved). Returns false on malformed input.
+bool parse(const std::uint8_t* data, std::size_t len, packet& out);
+
+// Verifies the IPv4 header checksum and, for TCP/UDP, the transport checksum.
+bool verify_checksums(const std::uint8_t* data, std::size_t len);
+
+// In-place ECN remark on a serialized packet: rewrites the IP TOS ECN bits
+// and incrementally updates the IPv4 header checksum (RFC 1624).
+void remark_ecn(std::vector<std::uint8_t>& bytes, ecn new_ecn);
+
+// In-place rewrite of TCP ECE/CWR/ACE bits and the AccECN option counters on
+// a serialized ACK, recomputing the TCP checksum. Option layout must already
+// be present when `opt.present`.
+void rewrite_tcp_ecn_feedback(std::vector<std::uint8_t>& bytes, std::uint8_t ace,
+                              const accecn_option& opt);
+
+}  // namespace l4span::net::wire

@@ -1,0 +1,37 @@
+// Extension point in the CU user plane, above SDAP/PDCP, where L4Span (or a
+// baseline like TC-RAN) observes and rewrites traffic. Mirrors the three
+// event classes of §4.1: downlink datagram, RAN feedback, uplink packet.
+#pragma once
+
+#include "net/packet.h"
+#include "ran/f1u.h"
+#include "ran/types.h"
+
+namespace l4span::ran {
+
+class cu_hook {
+public:
+    virtual ~cu_hook() = default;
+
+    // Downlink datagram admitted to DRB `drb`; PDCP will assign `sn`.
+    // The hook may rewrite header fields (ECN marking). Return false to drop
+    // the packet (drop-based feedback for non-ECN flows).
+    virtual bool on_dl_packet(net::packet& pkt, rnti_t ue, drb_id_t drb, pdcp_sn_t sn,
+                              sim::tick now) = 0;
+
+    // Uplink packet passing the CU on its way to the core. The hook may
+    // rewrite TCP ECN feedback fields (short-circuiting).
+    virtual bool on_ul_packet(net::packet& pkt, rnti_t ue, sim::tick now) = 0;
+
+    // F1-U downlink data delivery status from the DU.
+    virtual void on_delivery_status(const dl_delivery_status& status, sim::tick now) = 0;
+
+    // A packet admitted earlier was discarded before transmission (RLC
+    // retransmission give-up). Lets the hook reconcile its profile table.
+    virtual void on_dl_discard(rnti_t /*ue*/, drb_id_t /*drb*/, pdcp_sn_t /*sn*/,
+                               sim::tick /*now*/)
+    {
+    }
+};
+
+}  // namespace l4span::ran

@@ -1,0 +1,27 @@
+// F1-U downlink data delivery status (3GPP TS 38.425 §5.4).
+//
+// L4Span uses only the two mandatory fields — the highest transmitted and
+// highest delivered PDCP sequence numbers — so it works in both RLC AM and
+// UM (§4.3.1 of the paper).
+#pragma once
+
+#include "ran/types.h"
+#include "sim/time.h"
+
+namespace l4span::ran {
+
+struct dl_delivery_status {
+    rnti_t ue = 0;
+    drb_id_t drb = 0;
+    // Highest PDCP SN handed to MAC/PHY so far (always present).
+    pdcp_sn_t highest_transmitted_sn = 0;
+    bool has_transmitted = false;
+    // Highest PDCP SN confirmed delivered by RLC ACK (AM only).
+    pdcp_sn_t highest_delivered_sn = 0;
+    bool has_delivered = false;
+    // Desired buffer size field (38.425 mandatory): current free SDU slots.
+    std::uint32_t desired_buffer_sdus = 0;
+    sim::tick timestamp = 0;
+};
+
+}  // namespace l4span::ran

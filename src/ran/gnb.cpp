@@ -1,0 +1,327 @@
+#include "ran/gnb.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace l4span::ran {
+
+gnb::gnb(sim::event_loop& loop, gnb_config cfg, sim::rng rng)
+    : loop_(loop), cfg_(cfg), rng_(std::move(rng)), allocator_(cfg.mac)
+{
+}
+
+rnti_t gnb::add_ue(chan::channel_profile profile)
+{
+    auto ue = std::make_unique<ue_ctx>(ue_ctx{
+        next_rnti_,
+        static_cast<std::uint32_t>(ues_.size()),
+        chan::fading_channel(std::move(profile), rng_.fork()),
+        sdap_entity{},
+        {},
+        {},
+    });
+    allocator_.add_ue();
+    by_rnti_[ue->rnti] = ue.get();
+    ues_.push_back(std::move(ue));
+    return next_rnti_++;
+}
+
+drb_id_t gnb::add_drb(rnti_t ue, rlc_config cfg)
+{
+    ue_ctx& u = find_ue(ue);
+    const drb_id_t id = static_cast<drb_id_t>(u.drbs.size() + 1);
+    drb_ctx d;
+    d.id = id;
+    d.tx = std::make_unique<rlc_tx>(ue, id, cfg);
+    d.rx = std::make_unique<rlc_rx>(cfg.mode);
+
+    rlc_tx* tx = d.tx.get();
+    rlc_rx* rx = d.rx.get();
+    const rnti_t rnti = ue;
+
+    // F1-U: DU -> CU delivery status, with the configured interface latency.
+    tx->set_status_handler([this](const dl_delivery_status& st) {
+        if (!hook_) return;
+        if (cfg_.f1u_latency <= 0) {
+            hook_->on_delivery_status(st, loop_.now());
+        } else {
+            loop_.schedule_after(cfg_.f1u_latency,
+                                 [this, st] { hook_->on_delivery_status(st, loop_.now()); });
+        }
+    });
+    if (on_delay_) tx->set_delay_handler(on_delay_);
+    tx->set_discard_handler([this, rnti, id, rx](pdcp_sn_t sn, sim::tick now) {
+        rx->skip(sn, now);
+        if (hook_) hook_->on_dl_discard(rnti, id, sn, now);
+    });
+
+    // UE-side in-order delivery up the stack.
+    rx->set_deliver_handler([this, rnti, id](net::packet pkt, sim::tick now) {
+        if (on_deliver_) on_deliver_(rnti, id, std::move(pkt), now);
+    });
+    // RLC ACK: UE -> DU status report rides the next UL opportunity.
+    rx->set_ack_handler([this, tx](pdcp_sn_t ack_sn, sim::tick) {
+        const sim::tick period = cfg_.mac.slot * cfg_.mac.tdd_period_slots;
+        const sim::tick wait = period - (loop_.now() % period);  // next UL slot
+        loop_.schedule_after(wait, [this, tx, ack_sn] {
+            tx->on_delivery_confirmed(ack_sn, loop_.now());
+        });
+    });
+
+    u.drbs.push_back(std::move(d));
+    if (u.drbs.size() == 1) u.sdap.set_default_drb(id);
+    return id;
+}
+
+void gnb::map_qos_flow(rnti_t ue, qfi_t qfi, drb_id_t drb)
+{
+    find_ue(ue).sdap.map(qfi, drb);
+}
+
+void gnb::set_delay_handler(rlc_tx::delay_handler h)
+{
+    on_delay_ = std::move(h);
+    for (auto& u : ues_)
+        for (auto& d : u->drbs) d.tx->set_delay_handler(on_delay_);
+}
+
+void gnb::start()
+{
+    if (started_) return;
+    started_ = true;
+    loop_.schedule_after(cfg_.mac.slot, [this] { on_slot(); });
+}
+
+void gnb::deliver_downlink(net::packet pkt, rnti_t ue, qfi_t qfi)
+{
+    ue_ctx& u = find_ue(ue);
+    const drb_id_t drb_id = u.sdap.lookup(qfi);
+    drb_ctx& d = find_drb(u, drb_id);
+    const sim::tick now = loop_.now();
+    pkt.ran_ingress = now;
+
+    // Admission check before PDCP SN assignment keeps the SN space hole-free
+    // (mirrors PDCP discarding when the RLC SDU queue is full).
+    if (!d.tx->has_room()) return;
+
+    const pdcp_sn_t sn = d.pdcp.next_sn();
+    if (hook_ && !hook_->on_dl_packet(pkt, ue, drb_id, sn, now)) return;  // drop feedback
+    d.tx->enqueue(d.pdcp.wrap(std::move(pkt), now), now);
+}
+
+void gnb::send_uplink(rnti_t ue, net::packet pkt)
+{
+    // Uplink is uncongested in this model: the packet waits for the next UL
+    // TDD opportunity plus bounded scheduling jitter, then reaches the CU.
+    // Release times are kept monotone per UE (a UL grant carries the ACK
+    // stream in order).
+    const sim::tick period = cfg_.mac.slot * cfg_.mac.tdd_period_slots;
+    const sim::tick wait = period - (loop_.now() % period);
+    const sim::tick jitter =
+        static_cast<sim::tick>(rng_.uniform(0.0, static_cast<double>(cfg_.ul_proc_jitter)));
+    ue_ctx& u = find_ue(ue);
+    sim::tick release = loop_.now() + wait + jitter;
+    if (release <= u.last_ul_release) release = u.last_ul_release + sim::k_microsecond;
+    u.last_ul_release = release;
+    loop_.schedule_at(release, [this, ue, pkt = std::move(pkt)]() mutable {
+        if (hook_ && !hook_->on_ul_packet(pkt, ue, loop_.now())) return;
+        // CU -> core hop.
+        loop_.schedule_after(cfg_.core_latency, [this, ue, pkt = std::move(pkt)]() mutable {
+            if (on_uplink_) on_uplink_(ue, std::move(pkt), loop_.now());
+        });
+    });
+}
+
+bool gnb::is_dl_slot(std::uint64_t slot_idx, double& capacity_factor) const
+{
+    const int pos = static_cast<int>(slot_idx % static_cast<std::uint64_t>(
+                                                    cfg_.mac.tdd_period_slots));
+    if (pos < cfg_.mac.tdd_dl_slots) {
+        capacity_factor = 1.0;
+        return true;
+    }
+    if (pos == cfg_.mac.tdd_dl_slots) {  // special slot
+        capacity_factor = cfg_.mac.special_slot_factor;
+        return cfg_.mac.special_slot_factor > 0.0;
+    }
+    return false;  // UL slot
+}
+
+void gnb::on_slot()
+{
+    const sim::tick now = loop_.now();
+    ++slot_count_;
+    double cap_factor = 0.0;
+    const bool dl = is_dl_slot(slot_count_, cap_factor);
+
+    if (dl) {
+        int available_prb = cfg_.mac.n_prb;
+
+        // HARQ retransmissions claim the slot first.
+        for (auto& u : ues_) {
+            if (u->pending_retx.empty()) continue;
+            std::vector<harq_tb> due;
+            std::swap(due, u->pending_retx);
+            for (auto& tb : due) {
+                available_prb -= tb.prbs;
+                conclude_tb(std::move(tb));
+            }
+        }
+        if (available_prb < 0) available_prb = 0;
+
+        // Collect backlogged UEs and their current link quality.
+        std::vector<sched_input> inputs;
+        std::vector<ue_ctx*> who;
+        const double eff_re = 168.0 * (1.0 - 0.14) * cap_factor;
+        for (auto& u : ues_) {
+            std::uint64_t backlog = 0;
+            for (auto& d : u->drbs) backlog += d.tx->backlog_bytes();
+            if (backlog == 0) continue;
+            const double snr = u->channel.snr_db(now);
+            const int mcs = chan::mcs_from_snr(snr);
+            if (mcs < 0) continue;
+            sched_input si;
+            si.ue_index = u->index;
+            si.backlog_bytes = backlog;
+            si.bytes_per_prb = eff_re * chan::spectral_efficiency(mcs) / 8.0;
+            inputs.push_back(si);
+            who.push_back(u.get());
+        }
+
+        const std::vector<int> grants = allocator_.allocate(inputs, available_prb);
+
+        for (std::size_t i = 0; i < who.size(); ++i) {
+            ue_ctx& u = *who[i];
+            const int prbs = grants[i];
+            double served = 0.0;
+            if (prbs > 0) {
+                std::uint32_t grant_bytes =
+                    static_cast<std::uint32_t>(inputs[i].bytes_per_prb * prbs);
+                // Logical-channel prioritization: split the grant evenly
+                // across backlogged DRBs, rotating the order per slot so no
+                // bearer is systematically favoured; leftover bytes spill to
+                // whichever bearer still has data.
+                std::vector<drb_ctx*> active;
+                for (auto& d : u.drbs)
+                    if (d.tx->backlog_bytes() > 0) active.push_back(&d);
+                const std::size_t n = active.size();
+                for (std::size_t k = 0; k < 2 * n && grant_bytes > 0; ++k) {
+                    drb_ctx& d = *active[(slot_count_ + k) % n];
+                    if (d.tx->backlog_bytes() == 0) continue;
+                    const std::uint32_t share =
+                        k < n ? std::max<std::uint32_t>(
+                                    1, grant_bytes / static_cast<std::uint32_t>(n - k))
+                              : grant_bytes;
+                    auto chunks = d.tx->pull(std::min(share, grant_bytes), now);
+                    std::uint32_t used = 0;
+                    for (const auto& c : chunks) used += c.bytes;
+                    grant_bytes -= used;
+                    served += used;
+                    if (!chunks.empty()) {
+                        if (on_txlog_) on_txlog_(u.rnti, d.id, used, now);
+                        transmit_tb(u, d, std::move(chunks), used, prbs, 1);
+                    }
+                }
+            }
+            allocator_.update_average(u.index, served);
+        }
+        // UEs not considered this slot (no backlog) still age their PF average.
+        for (auto& u : ues_) {
+            bool considered = false;
+            for (auto* w : who)
+                if (w == u.get()) considered = true;
+            if (!considered) allocator_.update_average(u->index, 0.0);
+        }
+    }
+
+    loop_.schedule_after(cfg_.mac.slot, [this] { on_slot(); });
+}
+
+void gnb::transmit_tb(ue_ctx& ue, drb_ctx& drb, std::vector<tb_chunk> chunks,
+                      std::uint32_t bytes, int prbs, int attempt)
+{
+    harq_tb tb;
+    tb.ue = ue.rnti;
+    tb.drb = drb.id;
+    tb.bytes = bytes;
+    tb.prbs = prbs;
+    tb.attempt = attempt;
+    tb.chunks = std::move(chunks);
+    conclude_tb(std::move(tb));
+}
+
+void gnb::conclude_tb(harq_tb tb)
+{
+    const double bler = tb.attempt == 1 ? cfg_.mac.initial_bler : cfg_.mac.retx_bler;
+    ue_ctx& u = find_ue(tb.ue);
+    if (!rng_.bernoulli(bler)) {
+        // Decoded: the UE's RLC sees the chunks after the over-the-air delay.
+        rlc_rx* rx = find_drb(u, tb.drb).rx.get();
+        loop_.schedule_after(cfg_.mac.ota_delay,
+                             [this, rx, chunks = std::move(tb.chunks)]() mutable {
+                                 for (auto& c : chunks) rx->on_chunk(c, loop_.now());
+                             });
+        return;
+    }
+    if (tb.attempt >= cfg_.mac.max_harq_tx) {
+        // HARQ exhausted: RLC AM requeues, UM loses the data.
+        find_drb(u, tb.drb).tx->on_tb_lost(tb.chunks, loop_.now());
+        return;
+    }
+    // Schedule the retransmission one HARQ RTT later; it claims PRBs in the
+    // first DL slot at or after that time.
+    tb.attempt += 1;
+    const rnti_t ue_id = tb.ue;
+    loop_.schedule_after(cfg_.mac.harq_rtt, [this, ue_id, tb = std::move(tb)]() mutable {
+        find_ue(ue_id).pending_retx.push_back(std::move(tb));
+    });
+}
+
+rlc_tx& gnb::rlc(rnti_t ue, drb_id_t drb)
+{
+    return *find_drb(find_ue(ue), drb).tx;
+}
+
+const rlc_tx& gnb::rlc(rnti_t ue, drb_id_t drb) const
+{
+    return *const_cast<gnb*>(this)->find_drb(const_cast<gnb*>(this)->find_ue(ue), drb).tx;
+}
+
+double gnb::current_snr_db(rnti_t ue)
+{
+    return find_ue(ue).channel.snr_db(loop_.now());
+}
+
+int gnb::current_mcs(rnti_t ue)
+{
+    return chan::mcs_from_snr(current_snr_db(ue));
+}
+
+std::size_t gnb::resident_state_bytes() const
+{
+    std::size_t total = 0;
+    for (const auto& u : ues_) {
+        total += sizeof(ue_ctx);
+        for (const auto& d : u->drbs) {
+            total += sizeof(drb_ctx);
+            total += d.tx->queued_sdus() * (sizeof(pdcp_sdu) + sizeof(net::packet));
+        }
+    }
+    return total;
+}
+
+gnb::ue_ctx& gnb::find_ue(rnti_t ue)
+{
+    const auto it = by_rnti_.find(ue);
+    if (it == by_rnti_.end()) throw std::out_of_range("unknown rnti");
+    return *it->second;
+}
+
+gnb::drb_ctx& gnb::find_drb(ue_ctx& ue, drb_id_t id)
+{
+    for (auto& d : ue.drbs)
+        if (d.id == id) return d;
+    throw std::out_of_range("unknown drb");
+}
+
+}  // namespace l4span::ran

@@ -1,0 +1,126 @@
+// The gNB: CU-UP (SDAP/PDCP + CU hook slot for L4Span) and DU (RLC + MAC +
+// HARQ) plus the uplink TDD return path. This is the substrate the paper's
+// prototype embeds into srsRAN; here it is a faithful discrete-event model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "chan/fading.h"
+#include "chan/mcs.h"
+#include "net/packet.h"
+#include "ran/cu_hook.h"
+#include "ran/mac.h"
+#include "ran/pdcp.h"
+#include "ran/rlc.h"
+#include "ran/sdap.h"
+#include "ran/types.h"
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+namespace l4span::ran {
+
+struct gnb_config {
+    mac_config mac;
+    sim::tick f1u_latency = 0;          // CU and DU co-located by default
+    sim::tick core_latency = sim::from_ms(1);  // UPF/GTP-U hop
+    sim::tick ul_proc_jitter = sim::from_ms(2);
+};
+
+class gnb {
+public:
+    // (ue, drb, packet, now): SDU delivered to the UE's upper stack.
+    using deliver_handler = std::function<void(rnti_t, drb_id_t, net::packet, sim::tick)>;
+    // (ue, packet, now): uplink packet heading to the core/server.
+    using uplink_handler = std::function<void(rnti_t, net::packet, sim::tick)>;
+    // (ue, drb, bytes, now): ground-truth MAC transmission log (Fig. 20).
+    using txlog_handler = std::function<void(rnti_t, drb_id_t, std::uint32_t, sim::tick)>;
+
+    gnb(sim::event_loop& loop, gnb_config cfg, sim::rng rng);
+
+    // --- topology construction ---
+    rnti_t add_ue(chan::channel_profile profile);
+    drb_id_t add_drb(rnti_t ue, rlc_config cfg);
+    void map_qos_flow(rnti_t ue, qfi_t qfi, drb_id_t drb);
+
+    void set_cu_hook(cu_hook* hook) { hook_ = hook; }
+    void set_deliver_handler(deliver_handler h) { on_deliver_ = std::move(h); }
+    void set_uplink_handler(uplink_handler h) { on_uplink_ = std::move(h); }
+    void set_txlog_handler(txlog_handler h) { on_txlog_ = std::move(h); }
+
+    // Starts the slot clock. Call once after all UEs are added.
+    void start();
+
+    // --- data path ---
+    // Downlink packet arriving from the 5G core for `ue` (QFI selects DRB).
+    void deliver_downlink(net::packet pkt, rnti_t ue, qfi_t qfi);
+    // UE hands an uplink packet (e.g., a TCP ACK) to its modem.
+    void send_uplink(rnti_t ue, net::packet pkt);
+
+    // --- introspection (benchmark instrumentation) ---
+    rlc_tx& rlc(rnti_t ue, drb_id_t drb);
+    const rlc_tx& rlc(rnti_t ue, drb_id_t drb) const;
+    double current_snr_db(rnti_t ue);
+    int current_mcs(rnti_t ue);
+    std::size_t num_ues() const { return ues_.size(); }
+    const gnb_config& config() const { return cfg_; }
+    std::uint64_t slots_elapsed() const { return slot_count_; }
+
+    // Delay-breakdown taps (Fig. 10).
+    void set_delay_handler(rlc_tx::delay_handler h);
+
+    // Approximate resident state of the DU queues (Table 1 substitute).
+    std::size_t resident_state_bytes() const;
+
+private:
+    struct drb_ctx {
+        drb_id_t id;
+        pdcp_tx pdcp;
+        std::unique_ptr<rlc_tx> tx;
+        std::unique_ptr<rlc_rx> rx;
+    };
+    struct harq_tb {
+        rnti_t ue;
+        drb_id_t drb;
+        std::uint32_t bytes;
+        int prbs;
+        int attempt;
+        std::vector<tb_chunk> chunks;
+    };
+    struct ue_ctx {
+        rnti_t rnti;
+        std::uint32_t index;  // dense scheduler index
+        chan::fading_channel channel;
+        sdap_entity sdap;
+        std::vector<drb_ctx> drbs;
+        std::vector<harq_tb> pending_retx;  // due HARQ retransmissions
+        sim::tick last_ul_release = 0;      // keeps the uplink FIFO per UE
+    };
+
+    void on_slot();
+    void transmit_tb(ue_ctx& ue, drb_ctx& drb, std::vector<tb_chunk> chunks,
+                     std::uint32_t bytes, int prbs, int attempt);
+    void conclude_tb(harq_tb tb);
+    bool is_dl_slot(std::uint64_t slot_idx, double& capacity_factor) const;
+    drb_ctx& find_drb(ue_ctx& ue, drb_id_t id);
+    ue_ctx& find_ue(rnti_t ue);
+
+    sim::event_loop& loop_;
+    gnb_config cfg_;
+    sim::rng rng_;
+    prb_allocator allocator_;
+    std::vector<std::unique_ptr<ue_ctx>> ues_;
+    std::unordered_map<rnti_t, ue_ctx*> by_rnti_;
+    cu_hook* hook_ = nullptr;
+    deliver_handler on_deliver_;
+    uplink_handler on_uplink_;
+    txlog_handler on_txlog_;
+    rlc_tx::delay_handler on_delay_;
+    rnti_t next_rnti_ = 1;
+    std::uint64_t slot_count_ = 0;
+    bool started_ = false;
+};
+
+}  // namespace l4span::ran

@@ -1,0 +1,37 @@
+// PDCP transmit entity: assigns per-DRB sequence numbers. Header compression
+// and ciphering are out of scope (they don't affect queueing dynamics).
+#pragma once
+
+#include "net/packet.h"
+#include "ran/types.h"
+
+namespace l4span::ran {
+
+struct pdcp_sdu {
+    pdcp_sn_t sn = 0;
+    net::packet pkt;
+    std::uint32_t size = 0;        // wire bytes (what MAC grants are spent on)
+    sim::tick ingress_time = 0;    // arrival at the RLC queue
+};
+
+class pdcp_tx {
+public:
+    // SN that the next SDU will carry (L4Span reads this to key its profile
+    // table before the SDU enters the RLC).
+    pdcp_sn_t next_sn() const { return next_sn_; }
+
+    pdcp_sdu wrap(net::packet pkt, sim::tick now)
+    {
+        pdcp_sdu s;
+        s.sn = next_sn_++;
+        s.size = pkt.size_bytes();
+        s.pkt = std::move(pkt);
+        s.ingress_time = now;
+        return s;
+    }
+
+private:
+    pdcp_sn_t next_sn_ = 1;
+};
+
+}  // namespace l4span::ran

@@ -1,0 +1,206 @@
+#include "ran/rlc.h"
+
+#include <algorithm>
+
+namespace l4span::ran {
+
+bool rlc_tx::enqueue(pdcp_sdu sdu, sim::tick now)
+{
+    if (!has_room()) {
+        ++drops_;
+        return false;
+    }
+    queued_sdu q;
+    q.sdu = std::move(sdu);
+    if (queue_.empty() && retx_queue_.empty()) q.head_time = now;
+    fresh_bytes_ += q.sdu.size;
+    queue_.push_back(std::move(q));
+    return true;
+}
+
+std::vector<tb_chunk> rlc_tx::pull(std::uint32_t grant_bytes, sim::tick now)
+{
+    std::vector<tb_chunk> chunks;
+    std::uint32_t remaining = grant_bytes;
+    bool txed_any = false;
+
+    // Retransmissions first (standard RLC AM behaviour).
+    while (remaining > 0 && !retx_queue_.empty()) {
+        retx_sdu& r = retx_queue_.front();
+        const std::uint32_t left = r.size - r.sent;
+        const std::uint32_t take = std::min(left, remaining);
+        tb_chunk c;
+        c.sn = r.sn;
+        c.bytes = take;
+        c.sdu_total = r.size;
+        c.is_retx = true;
+        c.carries_last = (r.sent + take == r.size);
+        r.sent += take;
+        remaining -= take;
+        retx_bytes_ -= take;
+        total_txed_bytes_ += take;
+        if (c.carries_last) {
+            c.pkt = r.pkt;
+            awaiting_delivery_[r.sn] = {std::move(r.pkt), r.retx_count};
+            retx_queue_.pop_front();
+        }
+        chunks.push_back(std::move(c));
+        txed_any = true;
+    }
+
+    while (remaining > 0 && !queue_.empty()) {
+        queued_sdu& q = queue_.front();
+        if (q.head_time < 0) q.head_time = now;
+        const std::uint32_t left = q.sdu.size - q.sent;
+        const std::uint32_t take = std::min(left, remaining);
+        tb_chunk c;
+        c.sn = q.sdu.sn;
+        c.bytes = take;
+        c.sdu_total = q.sdu.size;
+        c.carries_last = (q.sent + take == q.sdu.size);
+        q.sent += take;
+        remaining -= take;
+        fresh_bytes_ -= take;
+        total_txed_bytes_ += take;
+        if (c.carries_last) {
+            if (on_delay_) {
+                sdu_delay_report rep;
+                rep.sn = q.sdu.sn;
+                rep.queuing = std::max<sim::tick>(0, q.head_time - q.sdu.ingress_time);
+                rep.scheduling = std::max<sim::tick>(0, now - q.head_time);
+                on_delay_(rep);
+            }
+            highest_txed_ = q.sdu.sn;
+            any_txed_ = true;
+            c.pkt = q.sdu.pkt;
+            if (cfg_.mode == rlc_mode::am)
+                awaiting_delivery_[q.sdu.sn] = {std::move(q.sdu.pkt), q.retx_count};
+            queue_.pop_front();
+            if (!queue_.empty()) queue_.front().head_time = now;
+        }
+        chunks.push_back(std::move(c));
+        txed_any = true;
+    }
+
+    if (txed_any) emit_status(now);
+    return chunks;
+}
+
+void rlc_tx::on_tb_lost(const std::vector<tb_chunk>& chunks, sim::tick now)
+{
+    if (cfg_.mode == rlc_mode::um) return;  // UM: lost is lost
+    for (const auto& c : chunks) {
+        // Retransmit the whole SDU (segment-level NACK granularity is below
+        // the fidelity the queueing model needs). Only the chunk carrying
+        // the last byte still holds the packet.
+        if (!c.carries_last) continue;
+        auto it = awaiting_delivery_.find(c.sn);
+        if (it == awaiting_delivery_.end()) continue;  // already confirmed/requeued
+        const int prior_retx = it->second.second;
+        if (prior_retx + 1 > cfg_.max_rlc_retx) {
+            // Give up: PDCP-level discard. The SN hole is reported so the
+            // receive side and L4Span can reconcile.
+            if (on_discard_) on_discard_(c.sn, now);
+            awaiting_delivery_.erase(it);
+            continue;
+        }
+        retx_sdu r;
+        r.pkt = std::move(it->second.first);
+        r.sn = c.sn;
+        r.size = c.sdu_total;
+        r.retx_count = prior_retx + 1;
+        retx_bytes_ += r.size;
+        retx_queue_.push_back(std::move(r));
+        awaiting_delivery_.erase(it);
+    }
+}
+
+void rlc_tx::on_delivery_confirmed(pdcp_sn_t ack_sn, sim::tick now)
+{
+    if (cfg_.mode == rlc_mode::um) return;
+    if (any_delivered_ && ack_sn <= delivered_watermark_) return;
+    // Release retained packets up to the cumulative ACK.
+    const pdcp_sn_t from = any_delivered_ ? delivered_watermark_ + 1 : 1;
+    for (pdcp_sn_t sn = from; sn <= ack_sn; ++sn) awaiting_delivery_.erase(sn);
+    delivered_watermark_ = ack_sn;
+    any_delivered_ = true;
+    emit_status(now);
+}
+
+void rlc_tx::emit_status(sim::tick now)
+{
+    if (!on_status_) return;
+    dl_delivery_status st;
+    st.ue = ue_;
+    st.drb = drb_;
+    st.highest_transmitted_sn = highest_txed_;
+    st.has_transmitted = any_txed_;
+    st.highest_delivered_sn = delivered_watermark_;
+    st.has_delivered = any_delivered_ && cfg_.mode == rlc_mode::am;
+    st.desired_buffer_sdus =
+        static_cast<std::uint32_t>(cfg_.max_queue_sdus > queue_.size()
+                                       ? cfg_.max_queue_sdus - queue_.size()
+                                       : 0);
+    st.timestamp = now;
+    on_status_(st);
+}
+
+void rlc_rx::on_chunk(const tb_chunk& chunk, sim::tick now)
+{
+    if (chunk.sn < next_expected_) return;  // duplicate / already skipped
+    partial& p = pending_[chunk.sn];
+    p.total = chunk.sdu_total;
+    p.received += chunk.bytes;
+    if (chunk.carries_last && chunk.pkt) p.pkt = chunk.pkt;
+    drain(now);
+}
+
+void rlc_rx::skip(pdcp_sn_t sn, sim::tick now)
+{
+    if (sn < next_expected_) return;
+    skipped_[sn] = true;
+    pending_.erase(sn);
+    drain(now);
+}
+
+void rlc_rx::drain(sim::tick now)
+{
+    // Deliver in order from next_expected_, hopping over discarded SNs. UM
+    // additionally skips a blocking gap once the reassembly timer expires.
+    bool advanced = false;
+    for (;;) {
+        if (auto sk = skipped_.find(next_expected_); sk != skipped_.end()) {
+            skipped_.erase(sk);
+            ++next_expected_;
+            advanced = true;
+            continue;
+        }
+        auto it = pending_.find(next_expected_);
+        const bool blocked =
+            it == pending_.end() || it->second.received < it->second.total ||
+            !it->second.pkt;
+        if (blocked) {
+            if (mode_ != rlc_mode::um || pending_.empty()) break;
+            if (um_gap_deadline_ < 0) {
+                um_gap_deadline_ = now + k_t_reassembly;
+                break;
+            }
+            if (now < um_gap_deadline_) break;
+            // t-Reassembly expired: the hole is declared lost.
+            pending_.erase(next_expected_);
+            ++next_expected_;
+            um_gap_deadline_ = -1;
+            advanced = true;
+            continue;
+        }
+        net::packet out = std::move(*it->second.pkt);
+        pending_.erase(it);
+        ++next_expected_;
+        um_gap_deadline_ = -1;
+        advanced = true;
+        if (on_deliver_) on_deliver_(std::move(out), now);
+    }
+    if (advanced && on_ack_ && mode_ == rlc_mode::am) on_ack_(next_expected_ - 1, now);
+}
+
+}  // namespace l4span::ran

@@ -1,0 +1,175 @@
+// RLC transmit entity (DU side) and receive entity (UE side).
+//
+// The transmit entity owns the deep SDU queue whose sojourn time L4Span
+// predicts. It supports:
+//  * AM: ARQ retransmission of SDUs whose HARQ delivery failed, plus
+//    delivery confirmations that feed the F1-U "highest delivered SN".
+//  * UM: no retransmission, transmit feedback only.
+// MAC pulls bytes per grant; SDUs may be segmented across transport blocks.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ran/f1u.h"
+#include "ran/pdcp.h"
+#include "ran/types.h"
+#include "sim/time.h"
+
+namespace l4span::ran {
+
+struct rlc_config {
+    rlc_mode mode = rlc_mode::am;
+    // srsRAN's default DL SDU queue length; the paper also evaluates 256.
+    std::size_t max_queue_sdus = 16384;
+    int max_rlc_retx = 8;
+};
+
+// One segment of an SDU inside a transport block.
+struct tb_chunk {
+    pdcp_sn_t sn = 0;
+    std::uint32_t bytes = 0;       // bytes of this SDU carried in this TB
+    std::uint32_t sdu_total = 0;   // full SDU size (for receive reassembly)
+    bool carries_last = false;     // this chunk contains the SDU's final byte
+    bool is_retx = false;
+    std::optional<net::packet> pkt;  // rides with the final chunk
+};
+
+// Per-SDU delay decomposition reported when the SDU completes transmission
+// (used for the Fig. 10 delay-breakdown experiment).
+struct sdu_delay_report {
+    pdcp_sn_t sn = 0;
+    sim::tick queuing = 0;     // enqueue -> reached head of queue
+    sim::tick scheduling = 0;  // head of queue -> fully handed to MAC
+};
+
+class rlc_tx {
+public:
+    using status_handler = std::function<void(const dl_delivery_status&)>;
+    using delay_handler = std::function<void(const sdu_delay_report&)>;
+    using discard_handler = std::function<void(pdcp_sn_t, sim::tick)>;
+
+    rlc_tx(rnti_t ue, drb_id_t drb, rlc_config cfg) : ue_(ue), drb_(drb), cfg_(cfg) {}
+
+    const rlc_config& config() const { return cfg_; }
+
+    // --- PDCP side ---
+    bool has_room() const { return queue_.size() < cfg_.max_queue_sdus; }
+    bool enqueue(pdcp_sdu sdu, sim::tick now);
+
+    // --- MAC side ---
+    // Fresh + retransmission bytes awaiting a grant.
+    std::uint64_t backlog_bytes() const { return fresh_bytes_ + retx_bytes_; }
+    std::size_t queued_sdus() const { return queue_.size(); }
+    std::uint64_t queued_bytes() const { return fresh_bytes_; }
+
+    // Pulls up to `grant_bytes` into chunks (retransmissions first). Emits
+    // the F1-U transmit-status feedback when SDUs complete transmission.
+    std::vector<tb_chunk> pull(std::uint32_t grant_bytes, sim::tick now);
+
+    // HARQ gave up on these chunks: AM re-queues the SDUs, UM loses them.
+    void on_tb_lost(const std::vector<tb_chunk>& chunks, sim::tick now);
+
+    // UE's RLC ACK advanced the in-order delivered watermark to `ack_sn`.
+    void on_delivery_confirmed(pdcp_sn_t ack_sn, sim::tick now);
+
+    void set_status_handler(status_handler h) { on_status_ = std::move(h); }
+    void set_delay_handler(delay_handler h) { on_delay_ = std::move(h); }
+    void set_discard_handler(discard_handler h) { on_discard_ = std::move(h); }
+
+    pdcp_sn_t highest_transmitted() const { return highest_txed_; }
+    pdcp_sn_t highest_delivered() const { return delivered_watermark_; }
+    std::uint64_t drops() const { return drops_; }
+    std::uint64_t total_txed_bytes() const { return total_txed_bytes_; }
+
+private:
+    struct queued_sdu {
+        pdcp_sdu sdu;
+        std::uint32_t sent = 0;           // bytes already handed to MAC
+        sim::tick head_time = -1;         // when it became queue head
+        int retx_count = 0;
+    };
+    struct retx_sdu {
+        net::packet pkt;
+        pdcp_sn_t sn;
+        std::uint32_t size;
+        std::uint32_t sent = 0;
+        int retx_count = 0;
+    };
+
+    void emit_status(sim::tick now);
+
+    rnti_t ue_;
+    drb_id_t drb_;
+    rlc_config cfg_;
+
+    std::deque<queued_sdu> queue_;      // fresh SDUs, front = head
+    std::deque<retx_sdu> retx_queue_;   // AM retransmissions (priority)
+    std::uint64_t fresh_bytes_ = 0;
+    std::uint64_t retx_bytes_ = 0;
+
+    // AM: SDUs fully transmitted, awaiting delivery confirmation; packets are
+    // retained so HARQ give-up can requeue them.
+    std::unordered_map<pdcp_sn_t, std::pair<net::packet, int>> awaiting_delivery_;
+
+    pdcp_sn_t highest_txed_ = 0;
+    bool any_txed_ = false;
+    pdcp_sn_t delivered_watermark_ = 0;
+    bool any_delivered_ = false;
+    std::uint64_t drops_ = 0;
+    std::uint64_t total_txed_bytes_ = 0;
+
+    status_handler on_status_;
+    delay_handler on_delay_;
+    discard_handler on_discard_;
+};
+
+// UE-side receive entity: reassembles segmented SDUs and delivers in
+// order. AM holds indefinitely (ARQ guarantees arrival); UM holds behind a
+// gap only until the reassembly deadline (t-Reassembly, TS 38.322) — long
+// enough for a full HARQ retransmission chain — then skips the hole.
+class rlc_rx {
+public:
+    using deliver_handler = std::function<void(net::packet, sim::tick)>;
+    // AM: in-order delivered watermark advanced (drives the RLC ACK).
+    using ack_handler = std::function<void(pdcp_sn_t, sim::tick)>;
+
+    explicit rlc_rx(rlc_mode mode) : mode_(mode) {}
+
+    void on_chunk(const tb_chunk& chunk, sim::tick now);
+
+    // DU discarded this SN (retransmission give-up): treat it as delivered
+    // so in-order delivery does not stall on the hole.
+    void skip(pdcp_sn_t sn, sim::tick now);
+
+    void set_deliver_handler(deliver_handler h) { on_deliver_ = std::move(h); }
+    void set_ack_handler(ack_handler h) { on_ack_ = std::move(h); }
+
+    pdcp_sn_t delivered_watermark() const { return next_expected_ - 1; }
+
+private:
+    struct partial {
+        std::uint32_t received = 0;
+        std::uint32_t total = 0;
+        std::optional<net::packet> pkt;
+    };
+
+    void drain(sim::tick now);
+
+    // Covers the worst-case HARQ retransmission chain (3 x 8 ms) with margin.
+    static constexpr sim::tick k_t_reassembly = sim::from_ms(35);
+
+    rlc_mode mode_;
+    pdcp_sn_t next_expected_ = 1;
+    std::unordered_map<pdcp_sn_t, partial> pending_;  // complete or partial, not yet delivered
+    std::unordered_map<pdcp_sn_t, bool> skipped_;     // DU-discarded SNs
+    sim::tick um_gap_deadline_ = -1;                  // UM reassembly timer
+
+    deliver_handler on_deliver_;
+    ack_handler on_ack_;
+};
+
+}  // namespace l4span::ran

@@ -1,0 +1,27 @@
+// SDAP: maps QoS flow identifiers onto data radio bearers.
+#pragma once
+
+#include <unordered_map>
+
+#include "ran/types.h"
+
+namespace l4span::ran {
+
+class sdap_entity {
+public:
+    void map(qfi_t qfi, drb_id_t drb) { qfi_to_drb_[qfi] = drb; }
+
+    void set_default_drb(drb_id_t drb) { default_drb_ = drb; }
+
+    drb_id_t lookup(qfi_t qfi) const
+    {
+        const auto it = qfi_to_drb_.find(qfi);
+        return it != qfi_to_drb_.end() ? it->second : default_drb_;
+    }
+
+private:
+    std::unordered_map<qfi_t, drb_id_t> qfi_to_drb_;
+    drb_id_t default_drb_ = 1;
+};
+
+}  // namespace l4span::ran

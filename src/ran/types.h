@@ -1,0 +1,18 @@
+// Shared identifiers for the RAN substrate.
+#pragma once
+
+#include <cstdint>
+
+namespace l4span::ran {
+
+using rnti_t = std::uint16_t;   // UE identity within the cell
+using drb_id_t = std::uint8_t;  // data radio bearer id within a UE
+using qfi_t = std::uint8_t;     // QoS flow identifier (SDAP)
+using pdcp_sn_t = std::uint32_t;
+
+enum class rlc_mode : std::uint8_t {
+    am,  // acknowledged mode: ARQ + delivery feedback
+    um,  // unacknowledged mode: transmit feedback only
+};
+
+}  // namespace l4span::ran

@@ -1,0 +1,64 @@
+#include "sim/event_loop.h"
+
+namespace l4span::sim {
+
+event_loop::event_id event_loop::schedule_at(tick when, handler fn)
+{
+    auto e = std::make_shared<entry>();
+    e->when = when < now_ ? now_ : when;
+    e->id = next_id_++;
+    e->fn = std::move(fn);
+    queue_.push(e);
+    if (index_.size() <= e->id) index_.resize(e->id + 64);
+    index_[e->id] = e;
+    ++live_;
+    return e->id;
+}
+
+void event_loop::cancel(event_id id)
+{
+    if (id >= index_.size()) return;
+    if (auto e = index_[id].lock(); e && !e->cancelled) {
+        e->cancelled = true;
+        e->fn = nullptr;
+        --live_;
+    }
+}
+
+bool event_loop::run_one()
+{
+    while (!queue_.empty()) {
+        auto e = queue_.top();
+        queue_.pop();
+        if (e->cancelled) continue;
+        now_ = e->when;
+        --live_;
+        ++processed_;
+        auto fn = std::move(e->fn);
+        fn();
+        return true;
+    }
+    return false;
+}
+
+void event_loop::run_until(tick until)
+{
+    while (!queue_.empty()) {
+        auto& e = queue_.top();
+        if (e->cancelled) {
+            queue_.pop();
+            continue;
+        }
+        if (e->when > until) break;
+        run_one();
+    }
+    if (now_ < until) now_ = until;
+}
+
+void event_loop::run()
+{
+    while (run_one()) {
+    }
+}
+
+}  // namespace l4span::sim

@@ -1,0 +1,55 @@
+// Seeded random source. Every stochastic component owns one, derived from a
+// scenario master seed, so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace l4span::sim {
+
+class rng {
+public:
+    explicit rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+    // Uniform in [0, 1).
+    double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+    double uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    double normal(double mean, double stddev)
+    {
+        if (stddev <= 0.0) return mean;
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    double exponential(double mean)
+    {
+        if (mean <= 0.0) return 0.0;
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    bool bernoulli(double p)
+    {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return uniform() < p;
+    }
+
+    // Derives an independent child stream (for per-UE / per-flow components).
+    rng fork() { return rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+    std::mt19937_64& engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace l4span::sim

@@ -1,0 +1,92 @@
+#include "stats/sample_set.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l4span::stats {
+
+void sample_set::add(double v)
+{
+    samples_.push_back(v);
+    sum_ += v;
+    sum_sq_ += v * v;
+    sorted_ = false;
+}
+
+void sample_set::ensure_sorted() const
+{
+    if (!sorted_) {
+        auto& s = const_cast<std::vector<double>&>(samples_);
+        std::sort(s.begin(), s.end());
+        sorted_ = true;
+    }
+}
+
+double sample_set::min() const
+{
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double sample_set::max() const
+{
+    ensure_sorted();
+    return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double sample_set::mean() const
+{
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double sample_set::stddev() const
+{
+    if (samples_.size() < 2) return 0.0;
+    const double n = static_cast<double>(samples_.size());
+    const double m = sum_ / n;
+    const double var = std::max(0.0, sum_sq_ / n - m * m);
+    return std::sqrt(var);
+}
+
+double sample_set::percentile(double p) const
+{
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    if (p <= 0.0) return samples_.front();
+    if (p >= 100.0) return samples_.back();
+    const double rank = p / 100.0 * (static_cast<double>(samples_.size()) - 1.0);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<sample_set::cdf_point> sample_set::cdf(std::size_t n) const
+{
+    std::vector<cdf_point> out;
+    if (samples_.empty() || n == 0) return out;
+    ensure_sorted();
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double f = static_cast<double>(i + 1) / static_cast<double>(n);
+        out.push_back({percentile(f * 100.0), f});
+    }
+    return out;
+}
+
+double sample_set::fraction_below(double v) const
+{
+    if (samples_.empty()) return 0.0;
+    ensure_sorted();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), v);
+    return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+void sample_set::clear()
+{
+    samples_.clear();
+    sum_ = sum_sq_ = 0.0;
+    sorted_ = true;
+}
+
+}  // namespace l4span::stats

@@ -1,0 +1,51 @@
+// Accumulates scalar samples and answers order statistics (median,
+// percentiles, CDF points) plus moments. Used for every distributional
+// metric the paper reports (one-way delay, RTT, throughput, queue length).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace l4span::stats {
+
+class sample_set {
+public:
+    void add(double v);
+    void reserve(std::size_t n) { samples_.reserve(n); }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+    double stddev() const;
+    double sum() const { return sum_; }
+
+    // p in [0, 100]; linear interpolation between closest ranks.
+    double percentile(double p) const;
+    double median() const { return percentile(50.0); }
+
+    // n evenly spaced (value, cumulative fraction) points of the empirical CDF.
+    struct cdf_point {
+        double value;
+        double fraction;
+    };
+    std::vector<cdf_point> cdf(std::size_t n = 20) const;
+
+    // Fraction of samples <= v.
+    double fraction_below(double v) const;
+
+    const std::vector<double>& raw() const { return samples_; }
+    void clear();
+
+private:
+    void ensure_sorted() const;
+
+    std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+};
+
+}  // namespace l4span::stats

@@ -1,0 +1,45 @@
+#include "stats/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace l4span::stats {
+
+std::string table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string table::to_string() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            if (row[c].size() > widths[c]) widths[c] = row[c].size();
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string& v = c < cells.size() ? cells[c] : std::string{};
+            os << v;
+            for (std::size_t pad = v.size(); pad < widths[c] + 2; ++pad) os << ' ';
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+void table::print() const
+{
+    std::fputs(to_string().c_str(), stdout);
+}
+
+}  // namespace l4span::stats

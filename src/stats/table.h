@@ -1,0 +1,27 @@
+// Minimal fixed-width console table used by the benchmark harnesses to print
+// the rows each paper figure/table reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace l4span::stats {
+
+class table {
+public:
+    explicit table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+    void add_row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+    // Convenience: formats doubles with the given precision.
+    static std::string num(double v, int precision = 2);
+
+    std::string to_string() const;
+    void print() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace l4span::stats

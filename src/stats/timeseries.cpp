@@ -1,0 +1,57 @@
+#include "stats/timeseries.h"
+
+namespace l4span::stats {
+
+void rate_series::add(sim::tick t, std::int64_t bytes)
+{
+    if (t < 0) return;
+    const auto bin = static_cast<std::size_t>(t / width_);
+    if (byte_bins_.size() <= bin) byte_bins_.resize(bin + 1, 0);
+    byte_bins_[bin] += bytes;
+    total_ += bytes;
+}
+
+double rate_series::mbps_at(sim::tick t) const
+{
+    if (t < 0) return 0.0;
+    const auto bin = static_cast<std::size_t>(t / width_);
+    if (bin >= byte_bins_.size()) return 0.0;
+    return static_cast<double>(byte_bins_[bin]) * 8.0 / sim::to_sec(width_) / 1e6;
+}
+
+std::vector<double> rate_series::mbps() const
+{
+    std::vector<double> out;
+    out.reserve(byte_bins_.size());
+    for (auto b : byte_bins_)
+        out.push_back(static_cast<double>(b) * 8.0 / sim::to_sec(width_) / 1e6);
+    return out;
+}
+
+double rate_series::total_mbps(sim::tick duration) const
+{
+    if (duration <= 0) return 0.0;
+    return static_cast<double>(total_) * 8.0 / sim::to_sec(duration) / 1e6;
+}
+
+void value_series::add(sim::tick t, double v)
+{
+    if (t < 0) return;
+    const auto bin = static_cast<std::size_t>(t / width_);
+    if (sums_.size() <= bin) {
+        sums_.resize(bin + 1, 0.0);
+        counts_.resize(bin + 1, 0);
+    }
+    sums_[bin] += v;
+    counts_[bin] += 1;
+}
+
+std::vector<double> value_series::means() const
+{
+    std::vector<double> out(sums_.size(), 0.0);
+    for (std::size_t i = 0; i < sums_.size(); ++i)
+        if (counts_[i] > 0) out[i] = sums_[i] / static_cast<double>(counts_[i]);
+    return out;
+}
+
+}  // namespace l4span::stats

@@ -1,0 +1,48 @@
+// Fixed-width time bins over simulated time. Two flavours:
+//  * rate_series  — sums bytes per bin, reads back as Mbit/s (throughput plots)
+//  * value_series — averages samples per bin (queue length, RTT time-series)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace l4span::stats {
+
+class rate_series {
+public:
+    explicit rate_series(sim::tick bin_width = sim::from_ms(100)) : width_(bin_width) {}
+
+    void add(sim::tick t, std::int64_t bytes);
+
+    // Mbit/s of the bin containing `t` (0 when out of range).
+    double mbps_at(sim::tick t) const;
+    std::vector<double> mbps() const;
+
+    sim::tick bin_width() const { return width_; }
+    std::size_t bins() const { return byte_bins_.size(); }
+    double total_mbps(sim::tick duration) const;
+    std::int64_t total_bytes() const { return total_; }
+
+private:
+    sim::tick width_;
+    std::vector<std::int64_t> byte_bins_;
+    std::int64_t total_ = 0;
+};
+
+class value_series {
+public:
+    explicit value_series(sim::tick bin_width = sim::from_ms(100)) : width_(bin_width) {}
+
+    void add(sim::tick t, double v);
+    std::vector<double> means() const;
+    std::size_t bins() const { return sums_.size(); }
+
+private:
+    sim::tick width_;
+    std::vector<double> sums_;
+    std::vector<std::int64_t> counts_;
+};
+
+}  // namespace l4span::stats

@@ -1,0 +1,68 @@
+// Point-to-point wired link: serialization at a (possibly time-varying)
+// line rate, a queue discipline, and propagation delay. Models the server->
+// core path, including the middlebox bottleneck of the Fig. 2 experiments.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "aqm/fifo.h"
+#include "aqm/queue_discipline.h"
+#include "net/packet.h"
+#include "sim/event_loop.h"
+
+namespace l4span::topo {
+
+class wired_link {
+public:
+    using deliver_fn = std::function<void(net::packet)>;
+
+    wired_link(sim::event_loop& loop, double rate_bps, sim::tick prop_delay,
+               std::unique_ptr<aqm::queue_discipline> queue = nullptr)
+        : loop_(loop),
+          rate_bps_(rate_bps),
+          prop_(prop_delay),
+          queue_(queue ? std::move(queue) : std::make_unique<aqm::fifo_queue>())
+    {
+    }
+
+    void set_deliver(deliver_fn f) { deliver_ = std::move(f); }
+
+    // Takes effect from the next packet's serialization.
+    void set_rate(double bps) { rate_bps_ = bps; }
+    double rate() const { return rate_bps_; }
+
+    void send(net::packet p)
+    {
+        queue_->enqueue(std::move(p), loop_.now());
+        pump();
+    }
+
+    aqm::queue_discipline& queue() { return *queue_; }
+
+private:
+    void pump()
+    {
+        if (busy_) return;
+        auto p = queue_->dequeue(loop_.now());
+        if (!p) return;
+        busy_ = true;
+        const sim::tick serialize = sim::tx_time(p->size_bytes(), rate_bps_);
+        loop_.schedule_after(serialize, [this, pkt = std::move(*p)]() mutable {
+            busy_ = false;
+            loop_.schedule_after(prop_, [this, pkt = std::move(pkt)]() mutable {
+                if (deliver_) deliver_(std::move(pkt));
+            });
+            pump();
+        });
+    }
+
+    sim::event_loop& loop_;
+    double rate_bps_;
+    sim::tick prop_;
+    std::unique_ptr<aqm::queue_discipline> queue_;
+    deliver_fn deliver_;
+    bool busy_ = false;
+};
+
+}  // namespace l4span::topo

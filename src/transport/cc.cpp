@@ -1,0 +1,22 @@
+#include "transport/cc.h"
+
+#include <stdexcept>
+
+#include "transport/bbr.h"
+#include "transport/cubic.h"
+#include "transport/prague.h"
+#include "transport/reno.h"
+
+namespace l4span::transport {
+
+cc_ptr make_cc(const std::string& algorithm, std::uint32_t mss)
+{
+    if (algorithm == "reno") return std::make_unique<reno>(mss);
+    if (algorithm == "cubic") return std::make_unique<cubic>(mss);
+    if (algorithm == "prague") return std::make_unique<prague>(mss);
+    if (algorithm == "bbr") return std::make_unique<bbr>(mss, false);
+    if (algorithm == "bbr2") return std::make_unique<bbr>(mss, true);
+    throw std::invalid_argument("unknown congestion controller: " + algorithm);
+}
+
+}  // namespace l4span::transport

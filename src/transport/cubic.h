@@ -1,0 +1,89 @@
+// CUBIC (RFC 8312): cubic window growth with beta = 0.7, TCP-friendly
+// region, fast convergence. ECT(0) data; CE treated like loss.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "transport/cc.h"
+
+namespace l4span::transport {
+
+class cubic : public congestion_controller {
+public:
+    explicit cubic(std::uint32_t mss) : mss_(mss), cwnd_(10ull * mss) {}
+
+    void on_ack(const ack_sample& s) override
+    {
+        if (cwnd_ < ssthresh_) {
+            cwnd_ += s.newly_acked;
+            return;
+        }
+        const double rtt_s = sim::to_sec(s.srtt > 0 ? s.srtt : sim::from_ms(100));
+        if (epoch_start_ < 0) {
+            epoch_start_ = s.now;
+            const double w_max_seg = w_max_ / mss_;
+            const double cwnd_seg = static_cast<double>(cwnd_) / mss_;
+            k_ = w_max_seg > cwnd_seg
+                     ? std::cbrt((w_max_seg - cwnd_seg) / k_c)
+                     : 0.0;
+            w_est_ = cwnd_seg;
+        }
+        const double t = sim::to_sec(s.now - epoch_start_);
+        const double w_max_seg = w_max_ / mss_;
+        const double target_seg = k_c * std::pow(t + rtt_s - k_, 3.0) + w_max_seg;
+        // TCP-friendly region (Reno-equivalent growth).
+        w_est_ += 3.0 * (1.0 - k_beta) / (1.0 + k_beta) *
+                  (static_cast<double>(s.newly_acked) / static_cast<double>(cwnd_));
+        const double cwnd_seg = static_cast<double>(cwnd_) / mss_;
+        double next_seg = cwnd_seg;
+        if (target_seg > cwnd_seg)
+            next_seg = cwnd_seg + (target_seg - cwnd_seg) / cwnd_seg *
+                                      (static_cast<double>(s.newly_acked) / mss_);
+        else
+            next_seg = cwnd_seg + 0.01 * (static_cast<double>(s.newly_acked) / mss_) /
+                                      cwnd_seg;
+        next_seg = std::max(next_seg, w_est_);
+        cwnd_ = static_cast<std::uint64_t>(next_seg * mss_);
+    }
+
+    void on_loss(sim::tick) override
+    {
+        // Fast convergence: release bandwidth when W_max shrinks.
+        const double cwnd_d = static_cast<double>(cwnd_);
+        w_max_ = cwnd_d < w_max_ ? cwnd_d * (2.0 - k_beta) / 2.0 : cwnd_d;
+        cwnd_ = std::max<std::uint64_t>(static_cast<std::uint64_t>(cwnd_d * k_beta),
+                                        2ull * mss_);
+        ssthresh_ = cwnd_;
+        epoch_start_ = -1;
+    }
+
+    void on_rto(sim::tick) override
+    {
+        w_max_ = static_cast<double>(cwnd_);
+        ssthresh_ = std::max<std::uint64_t>(static_cast<std::uint64_t>(cwnd_ * k_beta),
+                                            2ull * mss_);
+        cwnd_ = mss_;
+        epoch_start_ = -1;
+    }
+
+    std::uint64_t cwnd() const override { return cwnd_; }
+    net::ecn data_ecn() const override { return net::ecn::ect0; }
+    std::string name() const override { return "cubic"; }
+
+    static constexpr double beta() { return k_beta; }
+
+private:
+    static constexpr double k_c = 0.4;     // cubic scaling constant (segments/s^3)
+    static constexpr double k_beta = 0.7;  // multiplicative decrease
+
+    std::uint32_t mss_;
+    std::uint64_t cwnd_;
+    std::uint64_t ssthresh_ = ~0ull;
+    double w_max_ = 0.0;
+    double w_est_ = 0.0;
+    double k_ = 0.0;
+    sim::tick epoch_start_ = -1;
+};
+
+}  // namespace l4span::transport

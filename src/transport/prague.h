@@ -1,0 +1,101 @@
+// TCP Prague: the L4S reference sender (Briscoe et al., "Implementing the
+// Prague Requirements"). ECT(1) data, AccECN feedback, DCTCP-style EWMA of
+// the CE fraction, multiplicative decrease by alpha/2 at most once per RTT,
+// immediate return to additive increase (the "slightly pressed brake" of
+// §2 of the paper).
+#pragma once
+
+#include <algorithm>
+
+#include "transport/cc.h"
+
+namespace l4span::transport {
+
+class prague : public congestion_controller {
+public:
+    explicit prague(std::uint32_t mss) : mss_(mss), cwnd_(10ull * mss) {}
+
+    void on_ack(const ack_sample& s) override
+    {
+        bytes_acked_rtt_ += s.newly_acked;
+        ce_bytes_rtt_ += static_cast<std::uint64_t>(s.ce_fraction * s.newly_acked);
+        srtt_ = s.srtt;
+
+        // Per-RTT virtual round: fold the CE fraction into alpha.
+        if (s.now - round_start_ >= (s.srtt > 0 ? s.srtt : sim::from_ms(25))) {
+            const double frac = bytes_acked_rtt_ > 0
+                                    ? static_cast<double>(ce_bytes_rtt_) /
+                                          static_cast<double>(bytes_acked_rtt_)
+                                    : 0.0;
+            alpha_ = (1.0 - k_gain) * alpha_ + k_gain * frac;
+            if (ce_bytes_rtt_ > 0) {
+                // Multiplicative decrease once per round, then resume AI.
+                cwnd_ = std::max<std::uint64_t>(
+                    static_cast<std::uint64_t>(cwnd_ * (1.0 - alpha_ / 2.0)), 2ull * mss_);
+                ssthresh_ = cwnd_;
+                in_slow_start_ = false;
+            }
+            bytes_acked_rtt_ = 0;
+            ce_bytes_rtt_ = 0;
+            round_start_ = s.now;
+        }
+
+        if (in_slow_start_ && s.ce_fraction > 0.0) in_slow_start_ = false;
+        if (in_slow_start_) {
+            cwnd_ += s.newly_acked;
+        } else {
+            acked_accum_ += s.newly_acked;
+            if (acked_accum_ >= cwnd_) {
+                acked_accum_ -= cwnd_;
+                cwnd_ += mss_;
+            }
+        }
+    }
+
+    void on_loss(sim::tick) override
+    {
+        cwnd_ = std::max<std::uint64_t>(cwnd_ / 2, 2ull * mss_);
+        ssthresh_ = cwnd_;
+        in_slow_start_ = false;
+    }
+
+    void on_ecn(sim::tick now) override { on_loss(now); }
+
+    void on_rto(sim::tick) override
+    {
+        ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2ull * mss_);
+        cwnd_ = mss_;
+        in_slow_start_ = true;
+    }
+
+    std::uint64_t cwnd() const override { return cwnd_; }
+
+    double pacing_bps() const override
+    {
+        if (srtt_ <= 0) return 0.0;
+        // Pace at ~cwnd/RTT with a small headroom so ACK clocking keeps up.
+        return static_cast<double>(cwnd_) * 8.0 / sim::to_sec(srtt_) * 1.2;
+    }
+
+    net::ecn data_ecn() const override { return net::ecn::ect1; }
+    bool uses_accecn() const override { return true; }
+    std::string name() const override { return "prague"; }
+
+    double alpha() const { return alpha_; }
+
+private:
+    static constexpr double k_gain = 1.0 / 16.0;  // DCTCP g
+
+    std::uint32_t mss_;
+    std::uint64_t cwnd_;
+    std::uint64_t ssthresh_ = ~0ull;
+    std::uint64_t acked_accum_ = 0;
+    bool in_slow_start_ = true;
+    double alpha_ = 0.0;
+    sim::tick round_start_ = 0;
+    sim::tick srtt_ = 0;
+    std::uint64_t bytes_acked_rtt_ = 0;
+    std::uint64_t ce_bytes_rtt_ = 0;
+};
+
+}  // namespace l4span::transport

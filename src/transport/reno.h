@@ -1,0 +1,51 @@
+// TCP Reno (RFC 5681): AIMD with beta = 1/2, ECT(0) data, classic ECN echo
+// treated exactly like loss (RFC 3168).
+#pragma once
+
+#include "transport/cc.h"
+
+namespace l4span::transport {
+
+class reno : public congestion_controller {
+public:
+    explicit reno(std::uint32_t mss) : mss_(mss), cwnd_(10ull * mss) {}
+
+    void on_ack(const ack_sample& s) override
+    {
+        if (cwnd_ < ssthresh_) {
+            cwnd_ += s.newly_acked;  // slow start
+        } else {
+            acked_accum_ += s.newly_acked;
+            if (acked_accum_ >= cwnd_) {  // ~1 MSS per RTT
+                acked_accum_ -= cwnd_;
+                cwnd_ += mss_;
+            }
+        }
+    }
+
+    void on_loss(sim::tick) override
+    {
+        ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2ull * mss_);
+        cwnd_ = ssthresh_;
+    }
+
+    void on_rto(sim::tick) override
+    {
+        ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2ull * mss_);
+        cwnd_ = mss_;
+    }
+
+    std::uint64_t cwnd() const override { return cwnd_; }
+    net::ecn data_ecn() const override { return net::ecn::ect0; }
+    std::string name() const override { return "reno"; }
+
+    static constexpr double beta() { return 0.5; }
+
+private:
+    std::uint32_t mss_;
+    std::uint64_t cwnd_;
+    std::uint64_t ssthresh_ = ~0ull;
+    std::uint64_t acked_accum_ = 0;
+};
+
+}  // namespace l4span::transport

@@ -1,0 +1,385 @@
+#include "transport/tcp.h"
+
+#include <algorithm>
+
+namespace l4span::transport {
+
+// ---------------------------------------------------------------- sender --
+
+tcp_sender::tcp_sender(sim::event_loop& loop, tcp_config cfg, cc_ptr cc, send_fn send)
+    : loop_(loop), cfg_(cfg), cc_(std::move(cc)), send_(std::move(send))
+{
+}
+
+void tcp_sender::start()
+{
+    net::packet syn;
+    syn.ft = cfg_.ft;
+    syn.flow_id = cfg_.flow_id;
+    syn.pkt_id = ++pkt_counter_;
+    syn.sent_time = loop_.now();
+    syn.tcp = net::tcp_header{};
+    syn.tcp->flags.syn = true;
+    if (cc_->uses_accecn()) {
+        syn.tcp->flags.ae = syn.tcp->flags.cwr = syn.tcp->flags.ece = true;  // AccECN offer
+    } else {
+        syn.tcp->flags.cwr = syn.tcp->flags.ece = true;  // classic ECN offer
+    }
+    syn_time_ = loop_.now();
+    send_(std::move(syn));
+    arm_rto();
+}
+
+std::uint64_t tcp_sender::window() const
+{
+    return std::min<std::uint64_t>(cc_->cwnd(), cfg_.max_cwnd);
+}
+
+bool tcp_sender::more_app_data() const
+{
+    if (stopped_) return false;
+    if (cfg_.flow_bytes == 0) return true;
+    return snd_nxt_ - 1 < cfg_.flow_bytes;
+}
+
+void tcp_sender::try_send()
+{
+    if (!established_ || finished_) return;
+    const sim::tick now = loop_.now();
+    const double pace = cc_->pacing_bps();
+
+    while (more_app_data() && bytes_in_flight() + cfg_.mss <= window()) {
+        if (pace > 0.0 && now < next_send_allowed_) {
+            if (!send_pending_) {
+                send_pending_ = true;
+                loop_.schedule_at(next_send_allowed_, [this] {
+                    send_pending_ = false;
+                    try_send();
+                });
+            }
+            return;
+        }
+        std::uint32_t len = cfg_.mss;
+        if (cfg_.flow_bytes > 0)
+            len = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(len, cfg_.flow_bytes - (snd_nxt_ - 1)));
+        if (len == 0) break;
+        send_segment(snd_nxt_, len, false);
+        snd_nxt_ += len;
+        if (pace > 0.0)
+            next_send_allowed_ =
+                std::max(next_send_allowed_, now) + sim::tx_time(len, pace);
+    }
+}
+
+void tcp_sender::send_segment(std::uint64_t seq, std::uint32_t len, bool is_retx)
+{
+    net::packet p;
+    p.ft = cfg_.ft;
+    p.flow_id = cfg_.flow_id;
+    p.pkt_id = ++pkt_counter_;
+    p.sent_time = loop_.now();
+    p.payload_bytes = len;
+    p.ecn_field = cc_->data_ecn();
+    p.tcp = net::tcp_header{};
+    p.tcp->seq = static_cast<std::uint32_t>(seq);
+    if (send_cwr_ && !is_retx) {
+        p.tcp->flags.cwr = true;
+        send_cwr_ = false;
+    }
+
+    segment seg;
+    seg.seq = seq;
+    seg.len = len;
+    seg.sent_time = loop_.now();
+    seg.delivered_at_send = delivered_;
+    seg.retransmitted = is_retx;
+    if (is_retx) {
+        ++retransmit_count_;
+        for (auto& s : segments_) {
+            if (s.seq == seq) {
+                s.sent_time = seg.sent_time;
+                s.retransmitted = true;
+                break;
+            }
+        }
+    } else {
+        segments_.push_back(seg);
+    }
+    send_(std::move(p));
+    arm_rto();
+}
+
+void tcp_sender::on_packet(const net::packet& pkt)
+{
+    if (!pkt.is_tcp()) return;
+    const auto& h = *pkt.tcp;
+
+    if (h.flags.syn && h.flags.ack && !established_) {
+        established_ = true;
+        handshake_rtt_ = loop_.now() - syn_time_;
+        srtt_ = handshake_rtt_;
+        rttvar_ = handshake_rtt_ / 2;
+        rto_ = std::clamp(srtt_ + 4 * rttvar_, cfg_.min_rto, cfg_.max_rto);
+        // Handshake-completing ACK: this is the "subsequent forward packet"
+        // L4Span's RTT* estimator observes.
+        net::packet ack;
+        ack.ft = cfg_.ft;
+        ack.flow_id = cfg_.flow_id;
+        ack.pkt_id = ++pkt_counter_;
+        ack.sent_time = loop_.now();
+        ack.tcp = net::tcp_header{};
+        ack.tcp->flags.ack = true;
+        ack.tcp->ack_seq = 1;
+        send_(std::move(ack));
+        try_send();
+        return;
+    }
+    if (h.flags.ack && established_) process_ack(pkt);
+}
+
+void tcp_sender::process_ack(const net::packet& pkt)
+{
+    const sim::tick now = loop_.now();
+    const auto& h = *pkt.tcp;
+    const std::uint64_t ack = h.ack_seq;
+
+    ack_sample s;
+    s.now = now;
+
+    // --- AccECN / classic ECN feedback extraction ---
+    bool classic_ece = false;
+    if (cc_->uses_accecn()) {
+        std::uint32_t ce_delta_bytes = 0;
+        if (h.accecn.present) {
+            if (have_prev_accecn_) {
+                ce_delta_bytes = (h.accecn.eceb - prev_eceb_) & 0xffffff;
+            } else {
+                ce_delta_bytes = 0;
+            }
+            prev_eceb_ = h.accecn.eceb;
+            have_prev_accecn_ = true;
+        } else {
+            // Fall back to the 3-bit ACE packet counter.
+            const std::uint32_t ace = h.ace();
+            const std::uint32_t delta = (ace - prev_ace_) & 0x7;
+            prev_ace_ = ace;
+            ce_delta_bytes = delta * cfg_.mss;
+        }
+        if (ack > snd_una_) {
+            const std::uint64_t newly = ack - snd_una_;
+            s.ce_fraction =
+                std::min(1.0, static_cast<double>(ce_delta_bytes) / static_cast<double>(newly));
+        } else if (ce_delta_bytes > 0) {
+            s.ce_fraction = 1.0;
+        }
+    } else {
+        classic_ece = h.flags.ece;
+    }
+
+    if (ack > snd_una_) {
+        const std::uint64_t newly = ack - snd_una_;
+        s.newly_acked = static_cast<std::uint32_t>(newly);
+        delivered_ += newly;
+        dupacks_ = 0;
+
+        // RTT + delivery rate from the newest fully-acked, never-retransmitted segment.
+        while (!segments_.empty() && segments_.front().seq + segments_.front().len <= ack) {
+            const segment& seg = segments_.front();
+            if (!seg.retransmitted) {
+                const sim::tick rtt = now - seg.sent_time;
+                s.rtt = rtt;
+                rtt_samples_.add(sim::to_ms(rtt));
+                if (srtt_ == 0) {
+                    srtt_ = rtt;
+                    rttvar_ = rtt / 2;
+                } else {
+                    const sim::tick err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+                    rttvar_ = (3 * rttvar_ + err) / 4;
+                    srtt_ = (7 * srtt_ + rtt) / 8;
+                }
+                rto_ = std::clamp(srtt_ + std::max<sim::tick>(4 * rttvar_, sim::from_ms(1)),
+                                  cfg_.min_rto, cfg_.max_rto);
+                const sim::tick interval = now - seg.sent_time;
+                if (interval > 0)
+                    s.delivery_rate_bps = static_cast<double>(delivered_ - seg.delivered_at_send) *
+                                          8.0 / sim::to_sec(interval);
+            }
+            segments_.pop_front();
+        }
+        snd_una_ = ack;
+        rto_backoff_ = 0;
+
+        if (in_recovery_) {
+            if (ack >= recovery_point_) {
+                in_recovery_ = false;
+            } else if (!segments_.empty()) {
+                // NewReno partial ACK: retransmit the next hole.
+                send_segment(snd_una_, segments_.front().len, true);
+            }
+        }
+    } else if (ack == snd_una_ && established_ && bytes_in_flight() > 0) {
+        // Exact duplicate of the highest cumulative ACK; older (reordered)
+        // ACKs are ignored rather than treated as loss hints.
+        ++dupacks_;
+        if (dupacks_ == 3 && !in_recovery_) {
+            enter_recovery(now);
+        }
+    }
+
+    s.srtt = srtt_;
+    s.in_flight = bytes_in_flight();
+    s.ece = classic_ece;
+    s.app_limited = cfg_.flow_bytes > 0 && !more_app_data();
+
+    if (s.newly_acked > 0 || s.ce_fraction > 0.0) cc_->on_ack(s);
+
+    // Classic ECN: react at most once per RTT, echo CWR.
+    if (classic_ece) {
+        send_cwr_ = true;
+        if (last_ecn_reaction_ < 0 || now - last_ecn_reaction_ >= std::max(srtt_, sim::from_ms(1))) {
+            last_ecn_reaction_ = now;
+            cc_->on_ecn(now);
+        }
+    }
+
+    if (cfg_.flow_bytes > 0 && snd_una_ - 1 >= cfg_.flow_bytes && !finished_) {
+        finished_ = true;
+        finish_time_ = now;
+        if (rto_event_) loop_.cancel(rto_event_);
+        if (on_done_) on_done_(now);
+        return;
+    }
+
+    if (segments_.empty() && rto_event_) {
+        loop_.cancel(rto_event_);
+        rto_event_ = 0;
+    }
+    try_send();
+}
+
+void tcp_sender::enter_recovery(sim::tick now)
+{
+    in_recovery_ = true;
+    recovery_point_ = snd_nxt_;
+    cc_->on_loss(now);
+    if (!segments_.empty()) send_segment(segments_.front().seq, segments_.front().len, true);
+}
+
+void tcp_sender::arm_rto()
+{
+    if (rto_event_) loop_.cancel(rto_event_);
+    const sim::tick timeout = rto_ << std::min(rto_backoff_, 6);
+    rto_event_ = loop_.schedule_after(std::min(timeout, cfg_.max_rto), [this] {
+        rto_event_ = 0;
+        on_rto_fire();
+    });
+}
+
+void tcp_sender::on_rto_fire()
+{
+    if (finished_) return;
+    if (!established_) {
+        // SYN retransmission.
+        ++rto_backoff_;
+        start();
+        return;
+    }
+    if (segments_.empty()) return;
+    ++rto_backoff_;
+    in_recovery_ = false;
+    dupacks_ = 0;
+    cc_->on_rto(loop_.now());
+    send_segment(segments_.front().seq, segments_.front().len, true);
+}
+
+// -------------------------------------------------------------- receiver --
+
+tcp_receiver::tcp_receiver(sim::event_loop& loop, tcp_config cfg, bool accecn, send_fn send_ack)
+    : loop_(loop), cfg_(cfg), accecn_(accecn), send_(std::move(send_ack))
+{
+}
+
+void tcp_receiver::on_packet(const net::packet& pkt)
+{
+    if (!pkt.is_tcp()) return;
+    const sim::tick now = loop_.now();
+    const auto& h = *pkt.tcp;
+
+    if (h.flags.syn && !h.flags.ack) {
+        net::packet synack;
+        synack.ft = cfg_.ft.reversed();
+        synack.flow_id = cfg_.flow_id;
+        synack.pkt_id = ++pkt_counter_;
+        synack.sent_time = now;
+        synack.tcp = net::tcp_header{};
+        synack.tcp->flags.syn = true;
+        synack.tcp->flags.ack = true;
+        synack.tcp->ack_seq = 1;
+        if (accecn_) synack.tcp->flags.ae = true;  // AccECN accepted
+        else synack.tcp->flags.ece = true;         // classic ECN accepted
+        send_(std::move(synack));
+        return;
+    }
+    if (h.flags.ack && pkt.payload_bytes == 0) return;  // bare ACK (handshake completion)
+    if (pkt.payload_bytes == 0) return;
+
+    // --- ECN accounting ---
+    switch (pkt.ecn_field) {
+    case net::ecn::ce:
+        ++ce_packets_;
+        ++ce_packet_count_;
+        ce_bytes_ += pkt.payload_bytes;
+        if (!accecn_) ece_latched_ = true;
+        break;
+    case net::ecn::ect0: ect0_bytes_ += pkt.payload_bytes; break;
+    case net::ecn::ect1: ect1_bytes_ += pkt.payload_bytes; break;
+    case net::ecn::not_ect: break;
+    }
+    if (!accecn_ && h.flags.cwr) ece_latched_ = false;
+
+    // --- in-order reassembly ---
+    const std::uint64_t seq = h.seq;
+    if (seq == rcv_nxt_) {
+        rcv_nxt_ += pkt.payload_bytes;
+        // Pull any queued out-of-order data that is now contiguous.
+        auto it = ooo_.begin();
+        while (it != ooo_.end() && it->first <= rcv_nxt_) {
+            const std::uint64_t end = it->first + it->second;
+            if (end > rcv_nxt_) rcv_nxt_ = end;
+            it = ooo_.erase(it);
+        }
+    } else if (seq > rcv_nxt_) {
+        ooo_[seq] = std::max(ooo_[seq], pkt.payload_bytes);
+    }
+    // duplicates (seq < rcv_nxt_) still generate an ACK
+
+    if (pkt.sent_time >= 0) owd_samples_.add(sim::to_ms(now - pkt.sent_time));
+    goodput_.add(now, pkt.payload_bytes);
+
+    send_ack(pkt, now);
+}
+
+void tcp_receiver::send_ack(const net::packet& /*data*/, sim::tick now)
+{
+    net::packet ack;
+    ack.ft = cfg_.ft.reversed();
+    ack.flow_id = cfg_.flow_id;
+    ack.pkt_id = ++pkt_counter_;
+    ack.sent_time = now;
+    ack.tcp = net::tcp_header{};
+    ack.tcp->flags.ack = true;
+    ack.tcp->ack_seq = static_cast<std::uint32_t>(rcv_nxt_);
+    if (accecn_) {
+        ack.tcp->set_ace(static_cast<std::uint8_t>(ce_packet_count_ & 0x7));
+        ack.tcp->accecn.present = true;
+        ack.tcp->accecn.ee0b = ect0_bytes_ & 0xffffff;
+        ack.tcp->accecn.eceb = ce_bytes_ & 0xffffff;
+        ack.tcp->accecn.ee1b = ect1_bytes_ & 0xffffff;
+    } else {
+        ack.tcp->flags.ece = ece_latched_;
+    }
+    send_(std::move(ack));
+}
+
+}  // namespace l4span::transport

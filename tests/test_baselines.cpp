@@ -1,0 +1,99 @@
+// TC-RAN and DualPi2-in-RAN baselines against the full RAN substrate.
+#include <gtest/gtest.h>
+
+#include "scenario/cell_scenario.h"
+
+using namespace l4span;
+using scenario::cell_scenario;
+using scenario::cell_spec;
+using scenario::cu_mode;
+using scenario::flow_spec;
+
+TEST(tc_ran, keeps_rlc_queue_short)
+{
+    cell_spec c;
+    c.cu = cu_mode::tcran;
+    c.tcran.codel.ecn_mode = true;
+    c.seed = 9;
+    cell_scenario s(c);
+    flow_spec f;
+    f.cca = "prague";
+    const int h = s.add_flow(f);
+    s.run(sim::from_sec(5));
+    EXPECT_LT(s.rlc_queue_sdus(0).percentile(90), 64.0)
+        << "TC-RAN's flow control holds the standing queue at the CU";
+    EXPECT_GT(s.goodput_mbps(h), 5.0);
+}
+
+TEST(tc_ran, codel_controls_cubic_delay)
+{
+    double owd_tcran = 0.0, owd_vanilla = 0.0;
+    for (const bool use_tcran : {false, true}) {
+        cell_spec c;
+        c.cu = use_tcran ? cu_mode::tcran : cu_mode::none;
+        c.tcran.codel.ecn_mode = false;  // plain CoDel drops for CUBIC
+        c.seed = 9;
+        cell_scenario s(c);
+        flow_spec f;
+        f.cca = "cubic";
+        const int h = s.add_flow(f);
+        s.run(sim::from_sec(6));
+        (use_tcran ? owd_tcran : owd_vanilla) = s.owd_ms(h).median();
+    }
+    EXPECT_LT(owd_tcran, owd_vanilla * 0.5);
+}
+
+TEST(tc_ran, underutilizes_variable_channel_vs_l4span)
+{
+    // The paper's §6.2.2 headline: fixed-threshold CoDel cannot track the
+    // varying egress rate; L4Span utilizes more of the cell.
+    double tput_tcran = 0.0, tput_l4span = 0.0;
+    for (const bool use_tcran : {false, true}) {
+        cell_spec c;
+        c.channel = "static";
+        c.cu = use_tcran ? cu_mode::tcran : cu_mode::l4span;
+        c.tcran.codel.ecn_mode = true;
+        c.seed = 11;
+        cell_scenario s(c);
+        flow_spec f;
+        f.cca = "prague";
+        const int h = s.add_flow(f);
+        s.run(sim::from_sec(8));
+        (use_tcran ? tput_tcran : tput_l4span) = s.goodput_mbps(h);
+    }
+    EXPECT_GT(tput_l4span, tput_tcran);
+}
+
+TEST(dualpi2_ran, controls_delay_for_l4s_flow)
+{
+    cell_spec c;
+    c.cu = cu_mode::dualpi2_ran;
+    c.seed = 13;
+    cell_scenario s(c);
+    flow_spec f;
+    f.cca = "prague";
+    const int h = s.add_flow(f);
+    s.run(sim::from_sec(5));
+    EXPECT_LT(s.owd_ms(h).median(), 200.0);
+}
+
+TEST(dualpi2_ran, underutilizes_mobile_channel_vs_l4span)
+{
+    // §6.3.1: the wired DualPi2 strategy transplanted into the RAN loses
+    // throughput on a volatile channel; L4Span's error-aware marking does not.
+    double tput_dualpi2 = 0.0, tput_l4span = 0.0;
+    for (const bool use_dualpi2 : {false, true}) {
+        cell_spec c;
+        c.channel = "vehicular";
+        c.cu = use_dualpi2 ? cu_mode::dualpi2_ran : cu_mode::l4span;
+        c.seed = 17;
+        cell_scenario s(c);
+        flow_spec f;
+        f.cca = "prague";
+        const int h = s.add_flow(f);
+        s.run(sim::from_sec(8));
+        (use_dualpi2 ? tput_dualpi2 : tput_l4span) = s.goodput_mbps(h);
+    }
+    EXPECT_GT(tput_l4span, tput_dualpi2 * 1.1)
+        << "L4Span should clearly out-utilize fixed-threshold DualPi2";
+}

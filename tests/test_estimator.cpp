@@ -1,0 +1,103 @@
+// Egress-rate estimator (Eqs. (3)-(4)): convergence, windowing, volatility
+// detection, busy-period handling.
+#include <gtest/gtest.h>
+
+#include "core/egress_estimator.h"
+#include "sim/rng.h"
+
+using namespace l4span;
+using namespace l4span::core;
+
+namespace {
+constexpr sim::tick kWindow = sim::from_ms(12.45);  // tau_c = 24.9 ms / 2
+}
+
+TEST(estimator, converges_to_constant_rate)
+{
+    egress_estimator e(kWindow);
+    // 1400 bytes every 0.5 ms = 2.8 MB/s.
+    for (int i = 0; i < 200; ++i) e.on_transmit(i * sim::from_us(500), 1400);
+    EXPECT_TRUE(e.has_estimate());
+    EXPECT_NEAR(e.rate_Bps(), 2.8e6, 0.2e6);
+    EXPECT_LT(e.rate_err_Bps(), 0.3e6) << "steady traffic has small error";
+}
+
+TEST(estimator, tracks_rate_change_within_two_windows)
+{
+    egress_estimator e(kWindow);
+    sim::tick t = 0;
+    for (int i = 0; i < 100; ++i) {
+        t += sim::from_us(500);
+        e.on_transmit(t, 1400);
+    }
+    // Rate halves.
+    for (int i = 0; i < 200; ++i) {
+        t += sim::from_ms(1);
+        e.on_transmit(t, 1400);
+    }
+    EXPECT_NEAR(e.rate_Bps(), 1.4e6, 0.2e6);
+}
+
+TEST(estimator, volatile_rate_raises_error_estimate)
+{
+    egress_estimator steady(kWindow), jumpy(kWindow);
+    sim::rng rng(3);
+    sim::tick t = 0;
+    for (int i = 0; i < 2000; ++i) {
+        t += sim::from_us(500);
+        steady.on_transmit(t, 1400);
+        // Bursty service: alternating large/small transport blocks.
+        jumpy.on_transmit(t, (i / 25) % 2 == 0 ? 2600 : 200);
+    }
+    EXPECT_GT(jumpy.rate_err_Bps(), 3.0 * steady.rate_err_Bps());
+}
+
+TEST(estimator, busy_period_excludes_idle_gaps)
+{
+    egress_estimator e(kWindow);
+    sim::tick t = 0;
+    for (int i = 0; i < 100; ++i) {
+        t += sim::from_us(500);
+        e.on_transmit(t, 1400);
+    }
+    const double before = e.rate_Bps();
+    // Queue drains; 50 ms of silence; then service resumes at the same pace.
+    e.on_queue_empty(t);
+    t += sim::from_ms(50);
+    e.on_transmit(t, 1400);
+    EXPECT_GT(e.rate_Bps(), before * 0.3)
+        << "an app-limited lull must not crater the rate estimate";
+}
+
+TEST(estimator, idle_without_empty_flag_lowers_rate)
+{
+    // A silent gap while the queue was NOT empty is a genuine service stall
+    // and must lower the estimate.
+    egress_estimator e(kWindow);
+    sim::tick t = 0;
+    for (int i = 0; i < 100; ++i) {
+        t += sim::from_us(500);
+        e.on_transmit(t, 1400);
+    }
+    const double before = e.rate_Bps();
+    t += sim::from_ms(10);  // stall within the window
+    e.on_transmit(t, 1400);
+    EXPECT_LT(e.rate_Bps(), before);
+}
+
+TEST(estimator, no_estimate_before_first_sample)
+{
+    egress_estimator e(kWindow);
+    EXPECT_FALSE(e.has_estimate());
+    EXPECT_DOUBLE_EQ(e.rate_Bps(), 0.0);
+    EXPECT_DOUBLE_EQ(e.rate_err_Bps(), 0.0);
+}
+
+TEST(estimator, instantaneous_rate_reflects_window_bytes)
+{
+    egress_estimator e(sim::from_ms(10));
+    e.on_transmit(sim::from_ms(10), 5000);
+    e.on_transmit(sim::from_ms(12), 5000);
+    // 10000 bytes in a 10 ms busy window = 1 MB/s.
+    EXPECT_NEAR(e.instantaneous_Bps(), 1.0e6, 0.1e6);
+}

@@ -1,0 +1,164 @@
+// Marking strategies (§4.2): Eq. (1) shape, Eq. (2) model, coupling.
+// Includes parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/marking.h"
+
+using namespace l4span;
+using namespace l4span::core::marking;
+
+TEST(aimd_constant, reno_value)
+{
+    // beta = 0.5 -> K = sqrt(3/2).
+    EXPECT_NEAR(aimd_constant(0.5), std::sqrt(1.5), 1e-9);
+}
+
+TEST(aimd_constant, increases_with_gentler_backoff)
+{
+    EXPECT_GT(aimd_constant(0.7), aimd_constant(0.5));
+    EXPECT_GT(aimd_constant(0.9), aimd_constant(0.7));
+}
+
+TEST(phi, standard_normal_cdf)
+{
+    EXPECT_NEAR(phi(0.0), 0.5, 1e-9);
+    EXPECT_NEAR(phi(1.0), 0.8413, 1e-3);
+    EXPECT_NEAR(phi(-1.0), 0.1587, 1e-3);
+    EXPECT_NEAR(phi(5.0), 1.0, 1e-4);
+}
+
+TEST(p_l4s_law, half_at_threshold)
+{
+    // Queue sized exactly so predicted sojourn == tau_thr: p = 0.5.
+    const double r = 5e6;  // B/s
+    const std::uint64_t n = static_cast<std::uint64_t>(r * 0.010);
+    EXPECT_NEAR(p_l4s(n, sim::from_ms(10), r, 0.5e6), 0.5, 1e-6);
+}
+
+TEST(p_l4s_law, monotone_in_queue)
+{
+    const double r = 5e6, err = 0.5e6;
+    double prev = -1.0;
+    for (std::uint64_t n = 0; n <= 200000; n += 5000) {
+        const double p = p_l4s(n, sim::from_ms(10), r, err);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+    EXPECT_LT(p_l4s(0, sim::from_ms(10), r, err), 0.01);
+    EXPECT_GT(p_l4s(500000, sim::from_ms(10), r, err), 0.99);
+}
+
+TEST(p_l4s_law, zero_error_reduces_to_dualpi2_step)
+{
+    const double r = 5e6;
+    const std::uint64_t at = static_cast<std::uint64_t>(r * 0.010);
+    EXPECT_DOUBLE_EQ(p_l4s(at - 1000, sim::from_ms(10), r, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(p_l4s(at + 1000, sim::from_ms(10), r, 0.0), 1.0);
+}
+
+TEST(p_l4s_law, volatility_flattens_the_edge)
+{
+    // Same queue slightly below threshold: a volatile link marks more
+    // (hedging), a stable link marks less.
+    const double r = 5e6;
+    const std::uint64_t n = static_cast<std::uint64_t>(r * 0.008);  // 8 ms worth
+    const double p_stable = p_l4s(n, sim::from_ms(10), r, 0.1e6);
+    const double p_volatile = p_l4s(n, sim::from_ms(10), r, 2.0e6);
+    EXPECT_LT(p_stable, p_volatile);
+    // And slightly above threshold the volatile link marks *less*.
+    const std::uint64_t m = static_cast<std::uint64_t>(r * 0.012);
+    EXPECT_GT(p_l4s(m, sim::from_ms(10), r, 0.1e6), p_l4s(m, sim::from_ms(10), r, 2.0e6));
+}
+
+TEST(p_l4s_law, no_estimate_means_no_marking)
+{
+    EXPECT_DOUBLE_EQ(p_l4s(100000, sim::from_ms(10), 0.0, 1e6), 0.0);
+}
+
+TEST(p_classic_law, matches_throughput_model)
+{
+    // At p = p_classic, the AIMD model rate MSS*K/(RTT*sqrt(p)) equals r_hat.
+    const std::uint32_t mss = 1400;
+    const double k = aimd_constant(0.5);
+    const sim::tick rtt = sim::from_ms(50);
+    const double r = 3e6;
+    const double p = p_classic(mss, k, rtt, r);
+    ASSERT_GT(p, 0.0);
+    const double model_rate = mss * k / (sim::to_sec(rtt) * std::sqrt(p));
+    EXPECT_NEAR(model_rate, r, r * 1e-6);
+}
+
+TEST(p_classic_law, decreases_with_rate_and_rtt)
+{
+    const double k = aimd_constant(0.5);
+    EXPECT_GT(p_classic(1400, k, sim::from_ms(50), 1e6),
+              p_classic(1400, k, sim::from_ms(50), 4e6));
+    EXPECT_GT(p_classic(1400, k, sim::from_ms(20), 3e6),
+              p_classic(1400, k, sim::from_ms(100), 3e6));
+}
+
+TEST(p_classic_law, clamps_to_one)
+{
+    EXPECT_DOUBLE_EQ(p_classic(1400, aimd_constant(0.5), sim::from_ms(1), 1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(p_classic(1400, aimd_constant(0.5), 0, 3e6), 0.0);
+    EXPECT_DOUBLE_EQ(p_classic(1400, aimd_constant(0.5), sim::from_ms(50), 0.0), 0.0);
+}
+
+TEST(coupling, balances_response_functions)
+{
+    // p_l4s = (2/K) sqrt(p_classic) equalizes r_L4S = 2 MSS/(RTT p) with
+    // r_classic = MSS K/(RTT sqrt(p)) at equal RTT.
+    const double k = aimd_constant(0.5);
+    for (double pc : {1e-4, 1e-3, 1e-2, 0.1}) {
+        const double pl = p_l4s_coupled(pc, k);
+        const double mss = 1400.0, rtt = 0.05;
+        const double r_l4s = 2.0 * mss / (rtt * pl);
+        const double r_classic = mss * k / (rtt * std::sqrt(pc));
+        EXPECT_NEAR(r_l4s / r_classic, 1.0, 1e-9) << "pc=" << pc;
+    }
+}
+
+TEST(coupling, clamped_to_probability_range)
+{
+    EXPECT_LE(p_l4s_coupled(1.0, aimd_constant(0.5)), 1.0);
+    EXPECT_DOUBLE_EQ(p_l4s_coupled(0.0, aimd_constant(0.5)), 0.0);
+}
+
+// ---- parameterized property sweep: p_l4s continuity in every argument ----
+
+class p_l4s_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(p_l4s_sweep, bounded_and_monotone_in_rate)
+{
+    const double err = GetParam();
+    double prev = 2.0;
+    for (double r = 0.5e6; r <= 20e6; r += 0.5e6) {
+        const double p = p_l4s(60000, sim::from_ms(10), r, err);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+        EXPECT_LE(p, prev + 1e-12) << "higher egress rate must not raise the probability";
+        prev = p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(error_levels, p_l4s_sweep,
+                         ::testing::Values(0.0, 0.1e6, 0.5e6, 1e6, 3e6));
+
+class p_classic_sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(p_classic_sweep, bounded_in_all_regimes)
+{
+    const double beta = GetParam();
+    const double k = aimd_constant(beta);
+    for (double rtt_ms = 1; rtt_ms <= 400; rtt_ms *= 2) {
+        for (double r = 1e5; r <= 1e8; r *= 10) {
+            const double p = p_classic(1400, k, sim::from_ms(rtt_ms), r);
+            EXPECT_GE(p, 0.0);
+            EXPECT_LE(p, 1.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(betas, p_classic_sweep, ::testing::Values(0.5, 0.7, 0.8));

@@ -1,0 +1,178 @@
+// Packet model, wire serialization, checksums, AccECN option, ECN rewrite.
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "net/wire.h"
+
+using namespace l4span::net;
+
+namespace {
+
+packet sample_tcp_packet()
+{
+    packet p;
+    p.ft = {0x0a000001, 0xc0a80001, 443, 50000, ip_proto::tcp};
+    p.ecn_field = ecn::ect1;
+    p.tcp = tcp_header{};
+    p.tcp->seq = 1000;
+    p.tcp->ack_seq = 555;
+    p.tcp->flags.ack = true;
+    p.tcp->window = 4096;
+    p.payload_bytes = 100;
+    return p;
+}
+
+}  // namespace
+
+TEST(ecn, classification)
+{
+    EXPECT_EQ(classify(ecn::ect1), flow_class::l4s);
+    EXPECT_EQ(classify(ecn::ect0), flow_class::classic);
+    EXPECT_EQ(classify(ecn::not_ect), flow_class::non_ecn);
+    EXPECT_EQ(classify(ecn::ce), flow_class::classic);
+    EXPECT_TRUE(is_ect(ecn::ect0));
+    EXPECT_TRUE(is_ect(ecn::ect1));
+    EXPECT_FALSE(is_ect(ecn::ce));
+    EXPECT_FALSE(is_ect(ecn::not_ect));
+}
+
+TEST(five_tuple, reverse_and_hash)
+{
+    five_tuple t{1, 2, 10, 20, ip_proto::tcp};
+    const five_tuple r = t.reversed();
+    EXPECT_EQ(r.src_ip, 2u);
+    EXPECT_EQ(r.dst_ip, 1u);
+    EXPECT_EQ(r.src_port, 20);
+    EXPECT_EQ(r.dst_port, 10);
+    EXPECT_EQ(r.reversed(), t);
+    five_tuple_hash h;
+    EXPECT_NE(h(t), h(r));
+    EXPECT_EQ(h(t), h(five_tuple{1, 2, 10, 20, ip_proto::tcp}));
+}
+
+TEST(packet, size_accounts_for_headers)
+{
+    packet p = sample_tcp_packet();
+    EXPECT_EQ(p.size_bytes(), 20u + 20u + 100u);
+    p.tcp->accecn.present = true;
+    EXPECT_EQ(p.size_bytes(), 20u + 32u + 100u);
+
+    packet u;
+    u.ft.proto = ip_proto::udp;
+    u.payload_bytes = 100;
+    EXPECT_EQ(u.size_bytes(), 20u + 8u + 100u);
+}
+
+TEST(packet, ace_field_roundtrip)
+{
+    tcp_header h;
+    for (std::uint8_t v = 0; v < 8; ++v) {
+        h.set_ace(v);
+        EXPECT_EQ(h.ace(), v);
+    }
+}
+
+TEST(wire, internet_checksum_known_vector)
+{
+    // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, checksum 0x220d.
+    const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+    EXPECT_EQ(wire::internet_checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(wire, serialize_produces_valid_checksums)
+{
+    const packet p = sample_tcp_packet();
+    const auto bytes = wire::serialize(p);
+    ASSERT_GE(bytes.size(), 40u);
+    EXPECT_TRUE(wire::verify_checksums(bytes.data(), bytes.size()));
+}
+
+TEST(wire, tcp_roundtrip_preserves_fields)
+{
+    packet p = sample_tcp_packet();
+    p.tcp->accecn.present = true;
+    p.tcp->accecn.ee0b = 0x010203;
+    p.tcp->accecn.eceb = 0x040506;
+    p.tcp->accecn.ee1b = 0x0708AA;
+    p.tcp->flags.ece = true;
+    p.tcp->flags.cwr = true;
+    p.tcp->flags.ae = true;
+    const auto bytes = wire::serialize(p);
+    EXPECT_TRUE(wire::verify_checksums(bytes.data(), bytes.size()));
+
+    packet q;
+    ASSERT_TRUE(wire::parse(bytes.data(), bytes.size(), q));
+    EXPECT_EQ(q.ft, p.ft);
+    EXPECT_EQ(q.ecn_field, p.ecn_field);
+    ASSERT_TRUE(q.tcp.has_value());
+    EXPECT_EQ(q.tcp->seq, p.tcp->seq);
+    EXPECT_EQ(q.tcp->ack_seq, p.tcp->ack_seq);
+    EXPECT_TRUE(q.tcp->flags.ece);
+    EXPECT_TRUE(q.tcp->flags.cwr);
+    EXPECT_TRUE(q.tcp->flags.ae);
+    EXPECT_TRUE(q.tcp->accecn.present);
+    EXPECT_EQ(q.tcp->accecn.ee0b, 0x010203u);
+    EXPECT_EQ(q.tcp->accecn.eceb, 0x040506u);
+    EXPECT_EQ(q.tcp->accecn.ee1b, 0x0708AAu);
+    EXPECT_EQ(q.payload_bytes, p.payload_bytes);
+}
+
+TEST(wire, udp_roundtrip)
+{
+    packet p;
+    p.ft = {0x0a000002, 0xc0a80002, 5004, 6000, ip_proto::udp};
+    p.ecn_field = ecn::ce;
+    p.payload_bytes = 1200;
+    const auto bytes = wire::serialize(p);
+    EXPECT_TRUE(wire::verify_checksums(bytes.data(), bytes.size()));
+    packet q;
+    ASSERT_TRUE(wire::parse(bytes.data(), bytes.size(), q));
+    EXPECT_EQ(q.ft, p.ft);
+    EXPECT_EQ(q.ecn_field, ecn::ce);
+    EXPECT_EQ(q.payload_bytes, 1200u);
+}
+
+TEST(wire, remark_ecn_updates_ip_checksum)
+{
+    const packet p = sample_tcp_packet();
+    auto bytes = wire::serialize(p);
+    wire::remark_ecn(bytes, ecn::ce);
+    EXPECT_TRUE(wire::verify_checksums(bytes.data(), bytes.size()))
+        << "IP checksum must be recomputed after the ECN rewrite";
+    packet q;
+    ASSERT_TRUE(wire::parse(bytes.data(), bytes.size(), q));
+    EXPECT_EQ(q.ecn_field, ecn::ce);
+}
+
+TEST(wire, rewrite_tcp_feedback_updates_tcp_checksum)
+{
+    packet p = sample_tcp_packet();
+    p.payload_bytes = 0;
+    p.tcp->accecn.present = true;
+    auto bytes = wire::serialize(p);
+
+    accecn_option opt;
+    opt.present = true;
+    opt.ee0b = 111;
+    opt.eceb = 222;
+    opt.ee1b = 333;
+    wire::rewrite_tcp_ecn_feedback(bytes, 0b101, opt);
+    EXPECT_TRUE(wire::verify_checksums(bytes.data(), bytes.size()))
+        << "TCP checksum must be recomputed after the feedback rewrite";
+
+    packet q;
+    ASSERT_TRUE(wire::parse(bytes.data(), bytes.size(), q));
+    EXPECT_EQ(q.tcp->ace(), 0b101);
+    EXPECT_EQ(q.tcp->accecn.ee0b, 111u);
+    EXPECT_EQ(q.tcp->accecn.eceb, 222u);
+    EXPECT_EQ(q.tcp->accecn.ee1b, 333u);
+}
+
+TEST(wire, parse_rejects_garbage)
+{
+    std::vector<std::uint8_t> junk(10, 0xff);
+    packet q;
+    EXPECT_FALSE(wire::parse(junk.data(), junk.size(), q));
+    junk.assign(64, 0x00);
+    EXPECT_FALSE(wire::parse(junk.data(), junk.size(), q));  // version 0
+}

@@ -1,0 +1,276 @@
+// RLC transmit/receive entities: queueing, segmentation, ARQ, feedback.
+#include <gtest/gtest.h>
+
+#include "ran/rlc.h"
+
+using namespace l4span;
+using namespace l4span::ran;
+
+namespace {
+
+pdcp_sdu mk_sdu(pdcp_sn_t sn, std::uint32_t size, sim::tick t = 0)
+{
+    pdcp_sdu s;
+    s.sn = sn;
+    s.size = size;
+    s.ingress_time = t;
+    s.pkt.payload_bytes = size > 28 ? size - 28 : 0;
+    s.pkt.pkt_id = sn;
+    return s;
+}
+
+rlc_config am_cfg(std::size_t max_sdus = 16384)
+{
+    rlc_config c;
+    c.mode = rlc_mode::am;
+    c.max_queue_sdus = max_sdus;
+    return c;
+}
+
+}  // namespace
+
+TEST(rlc_tx, enqueue_respects_queue_limit)
+{
+    rlc_tx tx(1, 1, am_cfg(2));
+    EXPECT_TRUE(tx.enqueue(mk_sdu(1, 1000), 0));
+    EXPECT_TRUE(tx.enqueue(mk_sdu(2, 1000), 0));
+    EXPECT_FALSE(tx.has_room());
+    EXPECT_FALSE(tx.enqueue(mk_sdu(3, 1000), 0));
+    EXPECT_EQ(tx.drops(), 1u);
+    EXPECT_EQ(tx.queued_sdus(), 2u);
+}
+
+TEST(rlc_tx, pull_whole_sdus)
+{
+    rlc_tx tx(1, 1, am_cfg());
+    tx.enqueue(mk_sdu(1, 1000), 0);
+    tx.enqueue(mk_sdu(2, 1000), 0);
+    const auto chunks = tx.pull(2500, sim::from_ms(1));
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_TRUE(chunks[0].carries_last);
+    EXPECT_TRUE(chunks[1].carries_last);
+    EXPECT_EQ(tx.highest_transmitted(), 2u);
+    EXPECT_EQ(tx.backlog_bytes(), 0u);
+}
+
+TEST(rlc_tx, segmentation_across_grants)
+{
+    rlc_tx tx(1, 1, am_cfg());
+    tx.enqueue(mk_sdu(1, 3000), 0);
+    auto first = tx.pull(1000, 0);
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_FALSE(first[0].carries_last);
+    EXPECT_EQ(first[0].bytes, 1000u);
+    EXPECT_EQ(tx.highest_transmitted(), 0u) << "SDU not fully transmitted yet";
+
+    auto second = tx.pull(5000, sim::from_ms(1));
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].carries_last);
+    EXPECT_EQ(second[0].bytes, 2000u);
+    EXPECT_EQ(tx.highest_transmitted(), 1u);
+    ASSERT_TRUE(second[0].pkt.has_value()) << "packet rides the final chunk";
+}
+
+TEST(rlc_tx, emits_transmit_status)
+{
+    rlc_tx tx(1, 2, am_cfg());
+    std::vector<dl_delivery_status> statuses;
+    tx.set_status_handler([&](const dl_delivery_status& s) { statuses.push_back(s); });
+    tx.enqueue(mk_sdu(1, 500), 0);
+    tx.pull(1000, sim::from_ms(3));
+    ASSERT_FALSE(statuses.empty());
+    EXPECT_EQ(statuses.back().highest_transmitted_sn, 1u);
+    EXPECT_TRUE(statuses.back().has_transmitted);
+    EXPECT_FALSE(statuses.back().has_delivered);
+    EXPECT_EQ(statuses.back().timestamp, sim::from_ms(3));
+    EXPECT_EQ(statuses.back().drb, 2);
+}
+
+TEST(rlc_tx, delivery_confirmation_advances_watermark)
+{
+    rlc_tx tx(1, 1, am_cfg());
+    std::vector<dl_delivery_status> statuses;
+    tx.set_status_handler([&](const dl_delivery_status& s) { statuses.push_back(s); });
+    for (pdcp_sn_t sn = 1; sn <= 3; ++sn) tx.enqueue(mk_sdu(sn, 500), 0);
+    tx.pull(5000, 0);
+    tx.on_delivery_confirmed(2, sim::from_ms(10));
+    EXPECT_EQ(tx.highest_delivered(), 2u);
+    EXPECT_TRUE(statuses.back().has_delivered);
+    EXPECT_EQ(statuses.back().highest_delivered_sn, 2u);
+    // Stale (non-advancing) ACK is ignored.
+    tx.on_delivery_confirmed(1, sim::from_ms(11));
+    EXPECT_EQ(tx.highest_delivered(), 2u);
+}
+
+TEST(rlc_tx, am_retransmits_lost_tb)
+{
+    rlc_tx tx(1, 1, am_cfg());
+    tx.enqueue(mk_sdu(1, 1000), 0);
+    auto chunks = tx.pull(2000, 0);
+    EXPECT_EQ(tx.backlog_bytes(), 0u);
+    tx.on_tb_lost(chunks, sim::from_ms(8));
+    EXPECT_EQ(tx.backlog_bytes(), 1000u) << "lost SDU returns to the retx queue";
+    auto retx = tx.pull(2000, sim::from_ms(9));
+    ASSERT_EQ(retx.size(), 1u);
+    EXPECT_TRUE(retx[0].is_retx);
+    EXPECT_EQ(retx[0].sn, 1u);
+}
+
+TEST(rlc_tx, um_does_not_retransmit)
+{
+    rlc_config cfg;
+    cfg.mode = rlc_mode::um;
+    rlc_tx tx(1, 1, cfg);
+    tx.enqueue(mk_sdu(1, 1000), 0);
+    auto chunks = tx.pull(2000, 0);
+    tx.on_tb_lost(chunks, sim::from_ms(8));
+    EXPECT_EQ(tx.backlog_bytes(), 0u);
+}
+
+TEST(rlc_tx, retx_gives_up_after_max_and_reports_discard)
+{
+    rlc_config cfg = am_cfg();
+    cfg.max_rlc_retx = 2;
+    rlc_tx tx(1, 1, cfg);
+    std::vector<pdcp_sn_t> discards;
+    tx.set_discard_handler([&](pdcp_sn_t sn, sim::tick) { discards.push_back(sn); });
+    tx.enqueue(mk_sdu(1, 1000), 0);
+    auto chunks = tx.pull(2000, 0);
+    for (int round = 0; round < 3; ++round) {
+        tx.on_tb_lost(chunks, sim::from_ms(8 * (round + 1)));
+        if (tx.backlog_bytes() == 0) break;
+        chunks = tx.pull(2000, sim::from_ms(8 * (round + 1) + 1));
+    }
+    ASSERT_EQ(discards.size(), 1u);
+    EXPECT_EQ(discards[0], 1u);
+}
+
+TEST(rlc_tx, delay_report_decomposes_queuing_and_scheduling)
+{
+    rlc_tx tx(1, 1, am_cfg());
+    std::vector<sdu_delay_report> reports;
+    tx.set_delay_handler([&](const sdu_delay_report& r) { reports.push_back(r); });
+    tx.enqueue(mk_sdu(1, 500, sim::from_ms(0)), sim::from_ms(0));
+    tx.enqueue(mk_sdu(2, 500, sim::from_ms(0)), sim::from_ms(0));
+    tx.pull(600, sim::from_ms(5));   // SDU 1 leaves; SDU 2 becomes head at t=5
+    tx.pull(600, sim::from_ms(9));   // SDU 2 leaves
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].queuing, 0);
+    EXPECT_EQ(reports[0].scheduling, sim::from_ms(5));
+    EXPECT_EQ(reports[1].queuing, sim::from_ms(5));
+    EXPECT_EQ(reports[1].scheduling, sim::from_ms(4));
+}
+
+TEST(rlc_rx, am_delivers_in_order)
+{
+    rlc_rx rx(rlc_mode::am);
+    std::vector<std::uint64_t> delivered;
+    std::vector<pdcp_sn_t> acks;
+    rx.set_deliver_handler([&](net::packet p, sim::tick) { delivered.push_back(p.pkt_id); });
+    rx.set_ack_handler([&](pdcp_sn_t sn, sim::tick) { acks.push_back(sn); });
+
+    auto chunk = [](pdcp_sn_t sn) {
+        tb_chunk c;
+        c.sn = sn;
+        c.bytes = 100;
+        c.sdu_total = 100;
+        c.carries_last = true;
+        net::packet p;
+        p.pkt_id = sn;
+        c.pkt = p;
+        return c;
+    };
+    rx.on_chunk(chunk(2), 0);  // out of order: held
+    EXPECT_TRUE(delivered.empty());
+    rx.on_chunk(chunk(1), 1);  // releases both
+    EXPECT_EQ(delivered, (std::vector<std::uint64_t>{1, 2}));
+    EXPECT_EQ(acks.back(), 2u);
+}
+
+TEST(rlc_rx, am_reassembles_segments)
+{
+    rlc_rx rx(rlc_mode::am);
+    int delivered = 0;
+    rx.set_deliver_handler([&](net::packet, sim::tick) { ++delivered; });
+    tb_chunk a;
+    a.sn = 1;
+    a.bytes = 60;
+    a.sdu_total = 100;
+    rx.on_chunk(a, 0);
+    EXPECT_EQ(delivered, 0);
+    tb_chunk b;
+    b.sn = 1;
+    b.bytes = 40;
+    b.sdu_total = 100;
+    b.carries_last = true;
+    b.pkt = net::packet{};
+    rx.on_chunk(b, 1);
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(rlc_rx, skip_unblocks_in_order_delivery)
+{
+    rlc_rx rx(rlc_mode::am);
+    std::vector<std::uint64_t> delivered;
+    rx.set_deliver_handler([&](net::packet p, sim::tick) { delivered.push_back(p.pkt_id); });
+    auto chunk = [](pdcp_sn_t sn) {
+        tb_chunk c;
+        c.sn = sn;
+        c.bytes = 100;
+        c.sdu_total = 100;
+        c.carries_last = true;
+        net::packet p;
+        p.pkt_id = sn;
+        c.pkt = p;
+        return c;
+    };
+    rx.on_chunk(chunk(2), 0);  // SN 1 missing
+    EXPECT_TRUE(delivered.empty());
+    rx.skip(1, 1);  // DU discarded SN 1
+    EXPECT_EQ(delivered, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(rlc_rx, um_reorders_within_reassembly_window)
+{
+    // HARQ can reorder TBs; UM holds a gap until t-Reassembly, then skips.
+    rlc_rx rx(rlc_mode::um);
+    std::vector<std::uint64_t> delivered;
+    rx.set_deliver_handler([&](net::packet p, sim::tick) { delivered.push_back(p.pkt_id); });
+    auto chunk = [](pdcp_sn_t sn) {
+        tb_chunk c;
+        c.sn = sn;
+        c.bytes = 100;
+        c.sdu_total = 100;
+        c.carries_last = true;
+        net::packet p;
+        p.pkt_id = sn;
+        c.pkt = p;
+        return c;
+    };
+    rx.on_chunk(chunk(2), 0);  // gap: SN 1 missing, timer starts
+    EXPECT_TRUE(delivered.empty());
+    rx.on_chunk(chunk(1), sim::from_ms(8));  // late HARQ retx fills the gap
+    EXPECT_EQ(delivered, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(rlc_rx, um_skips_hole_after_t_reassembly)
+{
+    rlc_rx rx(rlc_mode::um);
+    std::vector<std::uint64_t> delivered;
+    rx.set_deliver_handler([&](net::packet p, sim::tick) { delivered.push_back(p.pkt_id); });
+    auto chunk = [](pdcp_sn_t sn) {
+        tb_chunk c;
+        c.sn = sn;
+        c.bytes = 100;
+        c.sdu_total = 100;
+        c.carries_last = true;
+        net::packet p;
+        p.pkt_id = sn;
+        c.pkt = p;
+        return c;
+    };
+    rx.on_chunk(chunk(2), 0);  // SN 1 lost for good
+    EXPECT_TRUE(delivered.empty());
+    rx.on_chunk(chunk(3), sim::from_ms(50));  // past the 35 ms deadline
+    EXPECT_EQ(delivered, (std::vector<std::uint64_t>{2, 3}));
+}

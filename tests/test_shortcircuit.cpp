@@ -1,0 +1,216 @@
+// Feedback short-circuiting (§4.4): AccECN rewrite, classic ECE latch/CWR,
+// RTT* estimation from the handshake.
+#include <gtest/gtest.h>
+
+#include "core/l4span.h"
+
+using namespace l4span;
+using namespace l4span::core;
+
+namespace {
+
+net::five_tuple dl_ft(std::uint16_t dport = 5000)
+{
+    return {0x0a000001, 0xc0a80001, 443, dport, net::ip_proto::tcp};
+}
+
+net::packet tcp_syn(bool accecn)
+{
+    net::packet p;
+    p.ft = dl_ft();
+    p.tcp = net::tcp_header{};
+    p.tcp->flags.syn = true;
+    p.tcp->flags.cwr = p.tcp->flags.ece = true;
+    p.tcp->flags.ae = accecn;
+    return p;
+}
+
+net::packet tcp_hs_ack()
+{
+    net::packet p;
+    p.ft = dl_ft();
+    p.tcp = net::tcp_header{};
+    p.tcp->flags.ack = true;
+    return p;
+}
+
+net::packet tcp_data(net::ecn e, std::uint32_t payload = 1400)
+{
+    net::packet p;
+    p.ft = dl_ft();
+    p.ecn_field = e;
+    p.tcp = net::tcp_header{};
+    p.payload_bytes = payload;
+    return p;
+}
+
+net::packet ul_ack(bool accecn_fields = false)
+{
+    net::packet p;
+    p.ft = dl_ft().reversed();
+    p.tcp = net::tcp_header{};
+    p.tcp->flags.ack = true;
+    if (accecn_fields) p.tcp->accecn.present = true;
+    return p;
+}
+
+ran::dl_delivery_status status(ran::pdcp_sn_t txed, sim::tick ts)
+{
+    ran::dl_delivery_status st;
+    st.ue = 1;
+    st.drb = 1;
+    st.highest_transmitted_sn = txed;
+    st.has_transmitted = true;
+    st.timestamp = ts;
+    return st;
+}
+
+// Warm the estimator (keeping one SDU outstanding so the service counts as
+// backlogged), then build a deep queue so the marking probability ~ 1.
+void make_congested(core::l4span& l, ran::pdcp_sn_t& sn, net::ecn codepoint)
+{
+    auto head = tcp_data(codepoint);
+    l.on_dl_packet(head, 1, 1, ++sn, 0);
+    for (int i = 0; i < 200; ++i) {
+        auto p = tcp_data(codepoint);
+        const sim::tick t = i * sim::from_us(500);
+        const ran::pdcp_sn_t prev = sn;
+        l.on_dl_packet(p, 1, 1, ++sn, t);
+        l.on_delivery_status(status(prev, t + sim::from_us(100)), t + sim::from_us(100));
+    }
+    const ran::pdcp_sn_t warm_end = sn;
+    for (int i = 0; i < 300; ++i) {
+        auto p = tcp_data(codepoint);
+        l.on_dl_packet(p, 1, 1, ++sn, sim::from_ms(110));
+    }
+    l.on_delivery_status(status(warm_end, sim::from_ms(111)), sim::from_ms(111));
+}
+
+}  // namespace
+
+TEST(shortcircuit, tcp_data_not_marked_on_downlink_when_sc_enabled)
+{
+    l4span_config cfg;
+    cfg.short_circuit = true;
+    cfg.seed = 5;
+    core::l4span l(cfg);
+    ran::pdcp_sn_t sn = 0;
+    auto syn = tcp_syn(true);
+    l.on_dl_packet(syn, 1, 1, ++sn, 0);
+    make_congested(l, sn, net::ecn::ect1);
+    // Under congestion, DL data keeps its ECT(1): the signal rides the ACKs.
+    auto p = tcp_data(net::ecn::ect1);
+    l.on_dl_packet(p, 1, 1, ++sn, sim::from_ms(112));
+    EXPECT_EQ(p.ecn_field, net::ecn::ect1);
+    EXPECT_GT(l.marks(), 0u) << "marks are bookkept, not applied to DL";
+}
+
+TEST(shortcircuit, accecn_ack_rewritten_with_ce_counters)
+{
+    l4span_config cfg;
+    cfg.short_circuit = true;
+    cfg.seed = 5;
+    core::l4span l(cfg);
+    ran::pdcp_sn_t sn = 0;
+    auto syn = tcp_syn(true);
+    l.on_dl_packet(syn, 1, 1, ++sn, 0);
+    make_congested(l, sn, net::ecn::ect1);
+
+    auto ack = ul_ack(true);
+    ASSERT_TRUE(l.on_ul_packet(ack, 1, sim::from_ms(113)));
+    EXPECT_TRUE(ack.tcp->accecn.present);
+    EXPECT_GT(ack.tcp->accecn.eceb, 0u) << "CE byte counter reflects tentative marks";
+    // ACE counter must equal the bookkept packet count mod 8.
+    EXPECT_EQ(ack.tcp->ace(), (5 + l.marks()) % 8);
+}
+
+TEST(shortcircuit, classic_ece_latched_until_cwr)
+{
+    l4span_config cfg;
+    cfg.short_circuit = true;
+    cfg.seed = 5;
+    core::l4span l(cfg);
+    ran::pdcp_sn_t sn = 0;
+    auto syn = tcp_syn(false);
+    l.on_dl_packet(syn, 1, 1, ++sn, 0);
+    make_congested(l, sn, net::ecn::ect0);
+    ASSERT_GT(l.marks(), 0u);
+
+    auto ack1 = ul_ack();
+    l.on_ul_packet(ack1, 1, sim::from_ms(113));
+    EXPECT_TRUE(ack1.tcp->flags.ece);
+    auto ack2 = ul_ack();
+    l.on_ul_packet(ack2, 1, sim::from_ms(114));
+    EXPECT_TRUE(ack2.tcp->flags.ece) << "ECE persists until CWR";
+
+    // Drain the queue first (otherwise the still-congested DRB would
+    // legitimately re-mark), then let the sender's CWR clear the latch.
+    l.on_delivery_status(status(sn, sim::from_ms(114)), sim::from_ms(114));
+    l.on_delivery_status(status(sn, sim::from_ms(115)), sim::from_ms(115));
+    auto cwr_pkt = tcp_data(net::ecn::ect0);
+    cwr_pkt.tcp->flags.cwr = true;
+    l.on_dl_packet(cwr_pkt, 1, 1, ++sn, sim::from_ms(115));
+    auto ack3 = ul_ack();
+    l.on_ul_packet(ack3, 1, sim::from_ms(117));
+    EXPECT_FALSE(ack3.tcp->flags.ece);
+}
+
+TEST(shortcircuit, rtt_star_from_syn_to_handshake_ack)
+{
+    l4span_config cfg;
+    core::l4span l(cfg);
+    auto syn = tcp_syn(true);
+    l.on_dl_packet(syn, 1, 1, 1, sim::from_ms(0));
+    auto hs = tcp_hs_ack();
+    l.on_dl_packet(hs, 1, 1, 2, sim::from_ms(38));
+    // RTT* is internal; verify via behaviour: a classic flow's p depends on
+    // it. Here we just assert the code path ran without touching the packet.
+    EXPECT_EQ(hs.payload_bytes, 0u);
+    EXPECT_EQ(l.dl_events(), 2u);
+}
+
+TEST(shortcircuit, disabled_sc_marks_downlink_instead)
+{
+    l4span_config cfg;
+    cfg.short_circuit = false;
+    cfg.seed = 5;
+    core::l4span l(cfg);
+    ran::pdcp_sn_t sn = 0;
+    auto syn = tcp_syn(true);
+    l.on_dl_packet(syn, 1, 1, ++sn, 0);
+    make_congested(l, sn, net::ecn::ect1);
+    int ce = 0;
+    for (int i = 0; i < 50; ++i) {
+        auto p = tcp_data(net::ecn::ect1);
+        l.on_dl_packet(p, 1, 1, ++sn, sim::from_ms(112));
+        if (p.ecn_field == net::ecn::ce) ++ce;
+    }
+    EXPECT_GT(ce, 25) << "without SC the CE goes on the downlink IP header";
+
+    // And uplink ACKs pass through unmodified.
+    auto ack = ul_ack(true);
+    const auto before = ack.tcp->accecn;
+    l.on_ul_packet(ack, 1, sim::from_ms(113));
+    EXPECT_EQ(ack.tcp->accecn.eceb, before.eceb);
+}
+
+TEST(shortcircuit, unknown_flow_ack_passes_untouched)
+{
+    l4span_config cfg;
+    cfg.short_circuit = true;
+    core::l4span l(cfg);
+    auto ack = ul_ack();
+    ack.ft.src_port = 1234;  // never seen
+    ack.tcp->flags.ece = true;
+    EXPECT_TRUE(l.on_ul_packet(ack, 1, 0));
+    EXPECT_TRUE(ack.tcp->flags.ece) << "receiver's own echo is preserved";
+}
+
+TEST(shortcircuit, non_tcp_uplink_ignored)
+{
+    core::l4span l({});
+    net::packet p;
+    p.ft.proto = net::ip_proto::udp;
+    p.payload_bytes = 64;
+    EXPECT_TRUE(l.on_ul_packet(p, 1, 0));
+}

@@ -1,0 +1,156 @@
+// Event loop: ordering, cancellation, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+
+using namespace l4span::sim;
+
+TEST(event_loop, fires_in_time_order)
+{
+    event_loop loop;
+    std::vector<int> order;
+    loop.schedule_at(from_ms(30), [&] { order.push_back(3); });
+    loop.schedule_at(from_ms(10), [&] { order.push_back(1); });
+    loop.schedule_at(from_ms(20), [&] { order.push_back(2); });
+    loop.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(loop.now(), from_ms(30));
+}
+
+TEST(event_loop, equal_times_fire_in_schedule_order)
+{
+    event_loop loop;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) loop.schedule_at(from_ms(5), [&, i] { order.push_back(i); });
+    loop.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(event_loop, run_until_stops_at_boundary)
+{
+    event_loop loop;
+    int fired = 0;
+    loop.schedule_at(from_ms(10), [&] { ++fired; });
+    loop.schedule_at(from_ms(20), [&] { ++fired; });
+    loop.schedule_at(from_ms(30), [&] { ++fired; });
+    loop.run_until(from_ms(20));
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(loop.now(), from_ms(20));
+    loop.run_until(from_ms(40));
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(loop.now(), from_ms(40));
+}
+
+TEST(event_loop, cancel_prevents_firing)
+{
+    event_loop loop;
+    int fired = 0;
+    const auto id = loop.schedule_at(from_ms(10), [&] { ++fired; });
+    loop.schedule_at(from_ms(20), [&] { ++fired; });
+    loop.cancel(id);
+    loop.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(loop.processed(), 1u);
+}
+
+TEST(event_loop, cancel_unknown_id_is_noop)
+{
+    event_loop loop;
+    loop.cancel(12345);
+    loop.schedule_after(from_ms(1), [] {});
+    loop.run();
+    SUCCEED();
+}
+
+TEST(event_loop, events_scheduled_during_run_execute)
+{
+    event_loop loop;
+    int fired = 0;
+    loop.schedule_at(from_ms(10), [&] {
+        loop.schedule_after(from_ms(5), [&] { ++fired; });
+    });
+    loop.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(loop.now(), from_ms(15));
+}
+
+TEST(event_loop, past_times_clamp_to_now)
+{
+    event_loop loop;
+    loop.schedule_at(from_ms(10), [&] {
+        loop.schedule_at(from_ms(1), [&] { EXPECT_EQ(loop.now(), from_ms(10)); });
+    });
+    loop.run();
+}
+
+TEST(event_loop, schedule_after_negative_clamps_to_zero)
+{
+    event_loop loop;
+    bool fired = false;
+    loop.schedule_after(-5, [&] { fired = true; });
+    loop.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(loop.now(), 0);
+}
+
+TEST(time, conversions_roundtrip)
+{
+    EXPECT_EQ(from_ms(1.5), 1'500'000);
+    EXPECT_DOUBLE_EQ(to_ms(from_ms(123.25)), 123.25);
+    EXPECT_DOUBLE_EQ(to_sec(from_sec(2.5)), 2.5);
+    EXPECT_EQ(from_us(3), 3'000);
+}
+
+TEST(time, tx_time_matches_rate)
+{
+    // 1500 bytes at 12 Mbit/s = 1 ms.
+    EXPECT_EQ(tx_time(1500, 12e6), from_ms(1));
+    // Zero rate is "never" but must not divide by zero.
+    EXPECT_GT(tx_time(1, 0.0), from_sec(100));
+}
+
+TEST(rng, deterministic_for_seed)
+{
+    rng a(7), b(7);
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(rng, bernoulli_extremes)
+{
+    rng r(1);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.bernoulli(0.0));
+        EXPECT_TRUE(r.bernoulli(1.0));
+    }
+}
+
+TEST(rng, normal_moments)
+{
+    rng r(3);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.normal(5.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double stddev = std::sqrt(sq / n - mean * mean);
+    EXPECT_NEAR(mean, 5.0, 0.1);
+    EXPECT_NEAR(stddev, 2.0, 0.1);
+}
+
+TEST(rng, fork_decorrelates_streams)
+{
+    rng parent(9);
+    rng child = parent.fork();
+    // Streams should differ (probability of coincidence is negligible).
+    bool any_diff = false;
+    rng parent2(9);
+    for (int i = 0; i < 10; ++i)
+        if (parent2.uniform() != child.uniform()) any_diff = true;
+    EXPECT_TRUE(any_diff);
+}

@@ -1,0 +1,111 @@
+// Percentiles, CDFs, time series.
+#include <gtest/gtest.h>
+
+#include "stats/sample_set.h"
+#include "stats/table.h"
+#include "stats/timeseries.h"
+
+using namespace l4span;
+using stats::sample_set;
+
+TEST(sample_set, empty_is_safe)
+{
+    sample_set s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_TRUE(s.cdf().empty());
+}
+
+TEST(sample_set, order_statistics)
+{
+    sample_set s;
+    for (int i = 10; i >= 1; --i) s.add(i);  // 1..10 reversed
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+    EXPECT_DOUBLE_EQ(s.median(), 5.5);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 10.0);
+    EXPECT_NEAR(s.percentile(25), 3.25, 1e-9);
+    EXPECT_NEAR(s.percentile(75), 7.75, 1e-9);
+}
+
+TEST(sample_set, moments)
+{
+    sample_set s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+}
+
+TEST(sample_set, interleaved_add_and_query)
+{
+    // Percentile queries sort lazily; adding afterwards must still work.
+    sample_set s;
+    s.add(3);
+    s.add(1);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+    s.add(2);
+    EXPECT_DOUBLE_EQ(s.median(), 2.0);
+    s.add(10);
+    EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(sample_set, fraction_below)
+{
+    sample_set s;
+    for (int i = 1; i <= 100; ++i) s.add(i);
+    EXPECT_DOUBLE_EQ(s.fraction_below(50), 0.5);
+    EXPECT_DOUBLE_EQ(s.fraction_below(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.fraction_below(1000), 1.0);
+}
+
+TEST(sample_set, cdf_monotone)
+{
+    sample_set s;
+    for (int i = 0; i < 500; ++i) s.add((i * 37) % 101);
+    const auto cdf = s.cdf(25);
+    ASSERT_EQ(cdf.size(), 25u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+        EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(rate_series, bins_and_mbps)
+{
+    stats::rate_series r(sim::from_ms(100));
+    // 125000 bytes in one 100 ms bin = 10 Mbit/s.
+    r.add(sim::from_ms(50), 125000);
+    EXPECT_NEAR(r.mbps_at(sim::from_ms(50)), 10.0, 1e-9);
+    EXPECT_NEAR(r.mbps_at(sim::from_ms(150)), 0.0, 1e-9);
+    r.add(sim::from_ms(250), 62500);
+    const auto v = r.mbps();
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_NEAR(v[2], 5.0, 1e-9);
+    EXPECT_NEAR(r.total_mbps(sim::from_ms(300)), 5.0, 1e-9);
+}
+
+TEST(value_series, means_per_bin)
+{
+    stats::value_series v(sim::from_ms(10));
+    v.add(sim::from_ms(5), 10.0);
+    v.add(sim::from_ms(6), 20.0);
+    v.add(sim::from_ms(15), 7.0);
+    const auto m = v.means();
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_DOUBLE_EQ(m[0], 15.0);
+    EXPECT_DOUBLE_EQ(m[1], 7.0);
+}
+
+TEST(table, renders_aligned_rows)
+{
+    stats::table t({"a", "long-header"});
+    t.add_row({"1", "2"});
+    t.add_row({"333", "4"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("long-header"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_EQ(stats::table::num(3.14159, 2), "3.14");
+}

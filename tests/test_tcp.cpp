@@ -1,0 +1,171 @@
+// TCP engine over an ideal in-memory pipe: handshake, delivery, recovery,
+// ECN feedback paths.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "transport/prague.h"
+#include "transport/tcp.h"
+
+using namespace l4span;
+using namespace l4span::transport;
+
+namespace {
+
+// Two endpoints joined by fixed-delay pipes with optional loss/marking.
+struct pipe_rig {
+    sim::event_loop loop;
+    tcp_config cfg;
+    std::unique_ptr<tcp_sender> snd;
+    std::unique_ptr<tcp_receiver> rcv;
+    sim::tick one_way = sim::from_ms(10);
+    int drop_every_n_data = 0;  // 0: no drops
+    int data_count = 0;
+    bool mark_all_ce = false;
+
+    explicit pipe_rig(const std::string& cca, std::uint64_t flow_bytes = 0)
+    {
+        cfg.flow_bytes = flow_bytes;
+        cfg.ft.proto = net::ip_proto::tcp;
+        auto cc = make_cc(cca, cfg.mss);
+        const bool accecn = cc->uses_accecn();
+        snd = std::make_unique<tcp_sender>(loop, cfg, std::move(cc), [this](net::packet p) {
+            ++data_count;
+            if (drop_every_n_data > 0 && p.payload_bytes > 0 &&
+                data_count % drop_every_n_data == 0)
+                return;  // drop
+            if (mark_all_ce && net::is_ect(p.ecn_field)) p.ecn_field = net::ecn::ce;
+            loop.schedule_after(one_way,
+                                [this, p = std::move(p)] { rcv->on_packet(p); });
+        });
+        rcv = std::make_unique<tcp_receiver>(loop, cfg, accecn, [this](net::packet p) {
+            loop.schedule_after(one_way,
+                                [this, p = std::move(p)] { snd->on_packet(p); });
+        });
+    }
+
+    void run(sim::tick t) { loop.run_until(t); }
+};
+
+}  // namespace
+
+TEST(tcp, handshake_establishes_and_measures_rtt)
+{
+    pipe_rig rig("reno");
+    rig.snd->start();
+    rig.run(sim::from_ms(100));
+    EXPECT_EQ(rig.snd->handshake_rtt(), sim::from_ms(20));
+}
+
+TEST(tcp, bulk_transfer_delivers_in_order)
+{
+    pipe_rig rig("reno");
+    rig.snd->start();
+    rig.run(sim::from_sec(2));
+    EXPECT_GT(rig.rcv->received_bytes(), 1u << 20);
+    EXPECT_EQ(rig.rcv->received_bytes(), rig.snd->delivered_bytes());
+}
+
+TEST(tcp, slow_start_doubles_per_rtt)
+{
+    pipe_rig rig("reno");
+    rig.snd->start();
+    rig.run(sim::from_ms(25));  // established + first flight acked
+    const auto w1 = rig.snd->cwnd_bytes();
+    rig.run(sim::from_ms(45));
+    const auto w2 = rig.snd->cwnd_bytes();
+    EXPECT_GE(w2, w1 + w1 / 2) << "slow start should roughly double per RTT";
+}
+
+TEST(tcp, finite_flow_finishes_and_reports_fct)
+{
+    pipe_rig rig("cubic", 50000);
+    rig.snd->start();
+    rig.run(sim::from_sec(2));
+    EXPECT_TRUE(rig.snd->finished());
+    EXPECT_GT(rig.snd->finish_time(), 0);
+    EXPECT_GE(rig.rcv->received_bytes(), 50000u);
+}
+
+TEST(tcp, recovers_from_periodic_loss)
+{
+    pipe_rig rig("reno");
+    rig.drop_every_n_data = 50;  // 2% loss
+    rig.snd->start();
+    rig.run(sim::from_sec(5));
+    EXPECT_GT(rig.rcv->received_bytes(), 2u << 20)
+        << "fast retransmit + RTO must sustain progress under loss";
+    EXPECT_GT(rig.snd->retransmits(), 0u);
+}
+
+TEST(tcp, classic_ecn_echo_until_cwr)
+{
+    pipe_rig rig("reno");
+    rig.snd->start();
+    rig.run(sim::from_ms(60));
+    const auto w_before = rig.snd->cwnd_bytes();
+    rig.mark_all_ce = true;
+    rig.run(sim::from_ms(120));
+    rig.mark_all_ce = false;
+    rig.run(sim::from_ms(200));
+    EXPECT_LT(rig.snd->cwnd_bytes(), w_before)
+        << "ECE feedback must shrink a classic sender's window";
+    EXPECT_GT(rig.rcv->ce_packets(), 0u);
+}
+
+TEST(tcp, accecn_ce_fraction_reaches_prague)
+{
+    pipe_rig rig("prague");
+    rig.snd->start();
+    rig.run(sim::from_ms(200));
+    rig.mark_all_ce = true;
+    rig.run(sim::from_ms(400));
+    const auto* pr = dynamic_cast<const prague*>(&rig.snd->cc());
+    ASSERT_NE(pr, nullptr);
+    EXPECT_GT(pr->alpha(), 0.1) << "alpha EWMA must absorb the CE fraction";
+}
+
+TEST(tcp, prague_survives_full_marking_without_collapse)
+{
+    pipe_rig rig("prague");
+    rig.snd->start();
+    rig.run(sim::from_ms(200));
+    rig.mark_all_ce = true;
+    rig.run(sim::from_sec(2));
+    // Even at 100% marking, Prague's alpha-based MD floors at 2 MSS and the
+    // flow keeps moving.
+    EXPECT_GT(rig.snd->cwnd_bytes(), 0u);
+    const auto before = rig.rcv->received_bytes();
+    rig.run(sim::from_sec(3));
+    EXPECT_GT(rig.rcv->received_bytes(), before);
+}
+
+TEST(tcp, rtt_samples_reflect_path)
+{
+    pipe_rig rig("cubic");
+    rig.snd->start();
+    rig.run(sim::from_sec(1));
+    ASSERT_GT(rig.snd->rtt_samples().count(), 10u);
+    EXPECT_NEAR(rig.snd->rtt_samples().median(), 20.0, 2.0);
+}
+
+TEST(tcp, receiver_counts_owd)
+{
+    pipe_rig rig("cubic");
+    rig.snd->start();
+    rig.run(sim::from_sec(1));
+    ASSERT_GT(rig.rcv->owd_samples().count(), 10u);
+    EXPECT_NEAR(rig.rcv->owd_samples().median(), 10.0, 1.0);
+}
+
+TEST(tcp, stop_halts_new_data)
+{
+    pipe_rig rig("reno");
+    rig.snd->start();
+    rig.run(sim::from_ms(500));
+    rig.snd->stop();
+    rig.run(sim::from_ms(600));
+    const auto frozen = rig.rcv->received_bytes();
+    rig.run(sim::from_sec(2));
+    EXPECT_EQ(rig.rcv->received_bytes(), frozen);
+}

@@ -1,0 +1,134 @@
+// Property/fuzz tests for the wire codec: randomized packets must
+// round-trip exactly with valid checksums, and random ECN/feedback
+// rewrites must keep the checksums valid.
+#include <gtest/gtest.h>
+
+#include "net/wire.h"
+#include "sim/rng.h"
+
+using namespace l4span;
+using namespace l4span::net;
+
+namespace {
+
+packet random_packet(sim::rng& rng)
+{
+    packet p;
+    p.ft.src_ip = static_cast<std::uint32_t>(rng.uniform_int(1, 0xffffffff));
+    p.ft.dst_ip = static_cast<std::uint32_t>(rng.uniform_int(1, 0xffffffff));
+    p.ft.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    p.ft.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    p.ecn_field = static_cast<ecn>(rng.uniform_int(0, 3));
+    p.dscp = static_cast<std::uint8_t>(rng.uniform_int(0, 63));
+    p.payload_bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 1460));
+    if (rng.bernoulli(0.6)) {
+        p.ft.proto = ip_proto::tcp;
+        tcp_header h;
+        h.seq = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffff));
+        h.ack_seq = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffff));
+        h.window = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+        h.flags.syn = rng.bernoulli(0.1);
+        h.flags.ack = rng.bernoulli(0.8);
+        h.flags.fin = rng.bernoulli(0.05);
+        h.flags.ece = rng.bernoulli(0.3);
+        h.flags.cwr = rng.bernoulli(0.3);
+        h.flags.ae = rng.bernoulli(0.3);
+        if (rng.bernoulli(0.5)) {
+            h.accecn.present = true;
+            h.accecn.ee0b = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+            h.accecn.eceb = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+            h.accecn.ee1b = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+        }
+        p.tcp = h;
+    } else {
+        p.ft.proto = ip_proto::udp;
+    }
+    return p;
+}
+
+}  // namespace
+
+TEST(wire_fuzz, random_packets_roundtrip_with_valid_checksums)
+{
+    sim::rng rng(20260611);
+    for (int i = 0; i < 500; ++i) {
+        const packet p = random_packet(rng);
+        const auto bytes = wire::serialize(p);
+        ASSERT_TRUE(wire::verify_checksums(bytes.data(), bytes.size())) << "iter " << i;
+        packet q;
+        ASSERT_TRUE(wire::parse(bytes.data(), bytes.size(), q)) << "iter " << i;
+        EXPECT_EQ(q.ft, p.ft);
+        EXPECT_EQ(q.ecn_field, p.ecn_field);
+        EXPECT_EQ(q.dscp, p.dscp);
+        EXPECT_EQ(q.payload_bytes, p.payload_bytes);
+        if (p.is_tcp()) {
+            ASSERT_TRUE(q.tcp.has_value());
+            EXPECT_EQ(q.tcp->seq, p.tcp->seq);
+            EXPECT_EQ(q.tcp->ack_seq, p.tcp->ack_seq);
+            EXPECT_EQ(q.tcp->window, p.tcp->window);
+            EXPECT_EQ(q.tcp->flags.syn, p.tcp->flags.syn);
+            EXPECT_EQ(q.tcp->flags.ece, p.tcp->flags.ece);
+            EXPECT_EQ(q.tcp->flags.cwr, p.tcp->flags.cwr);
+            EXPECT_EQ(q.tcp->flags.ae, p.tcp->flags.ae);
+            EXPECT_EQ(q.tcp->accecn.present, p.tcp->accecn.present);
+            if (p.tcp->accecn.present) {
+                EXPECT_EQ(q.tcp->accecn.ee0b, p.tcp->accecn.ee0b);
+                EXPECT_EQ(q.tcp->accecn.eceb, p.tcp->accecn.eceb);
+                EXPECT_EQ(q.tcp->accecn.ee1b, p.tcp->accecn.ee1b);
+            }
+        }
+    }
+}
+
+TEST(wire_fuzz, random_ecn_remarks_keep_checksums_valid)
+{
+    sim::rng rng(42);
+    for (int i = 0; i < 300; ++i) {
+        const packet p = random_packet(rng);
+        auto bytes = wire::serialize(p);
+        const auto new_ecn = static_cast<ecn>(rng.uniform_int(0, 3));
+        wire::remark_ecn(bytes, new_ecn);
+        ASSERT_TRUE(wire::verify_checksums(bytes.data(), bytes.size())) << "iter " << i;
+        packet q;
+        ASSERT_TRUE(wire::parse(bytes.data(), bytes.size(), q));
+        EXPECT_EQ(q.ecn_field, new_ecn);
+    }
+}
+
+TEST(wire_fuzz, random_feedback_rewrites_keep_checksums_valid)
+{
+    sim::rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+        packet p = random_packet(rng);
+        if (!p.is_tcp()) continue;
+        p.tcp->accecn.present = true;
+        auto bytes = wire::serialize(p);
+        accecn_option opt;
+        opt.present = true;
+        opt.ee0b = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+        opt.eceb = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+        opt.ee1b = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+        const auto ace = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+        wire::rewrite_tcp_ecn_feedback(bytes, ace, opt);
+        ASSERT_TRUE(wire::verify_checksums(bytes.data(), bytes.size())) << "iter " << i;
+        packet q;
+        ASSERT_TRUE(wire::parse(bytes.data(), bytes.size(), q));
+        EXPECT_EQ(q.tcp->ace(), ace);
+        EXPECT_EQ(q.tcp->accecn.eceb, opt.eceb);
+    }
+}
+
+TEST(wire_fuzz, truncated_inputs_never_crash_parser)
+{
+    sim::rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        const packet p = random_packet(rng);
+        auto bytes = wire::serialize(p);
+        const auto cut = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(bytes.size())));
+        packet q;
+        // Must return cleanly (true only if still structurally complete).
+        wire::parse(bytes.data(), cut, q);
+    }
+    SUCCEED();
+}
