@@ -14,6 +14,7 @@ int main()
 {
     stats::table out({"CU mode", "Median OWD (ms)", "P90 OWD (ms)", "Goodput (Mbit/s)"});
 
+    std::uint64_t cu_marks = 0;
     for (const bool with_l4span : {false, true}) {
         scenario::cell_spec cell;
         cell.num_ues = 1;
@@ -28,6 +29,7 @@ int main()
         const int h = sim.add_flow(flow);
 
         sim.run(sim::from_sec(10));
+        if (with_l4span) cu_marks = sim.l4span_layer()->marks();
 
         out.add_row({with_l4span ? "srsRAN + L4Span" : "srsRAN (vanilla)",
                      stats::table::num(sim.owd_ms(h).median(), 1),
@@ -37,6 +39,8 @@ int main()
 
     std::puts("L4Span quickstart: 1 UE, static channel, TCP Prague, 10 s download\n");
     out.print();
+    std::printf("\nCU marks: %llu (congestion signals: downlink CE or short-circuited ACK rewrites)\n",
+                static_cast<unsigned long long>(cu_marks));
     std::puts("\nL4Span keeps the RLC queue short by ECN-marking at the CU, so the");
     std::puts("sender's congestion window tracks the radio link's real capacity.");
     return 0;

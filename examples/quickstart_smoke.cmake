@@ -1,0 +1,14 @@
+# Smoke check for the documented quickstart: it must exit 0 (so sanitizer
+# failures are not masked) AND report a non-zero CU mark count.
+# Invoked as: cmake -D QUICKSTART_EXE=<path> -P quickstart_smoke.cmake
+execute_process(
+    COMMAND ${QUICKSTART_EXE}
+    OUTPUT_VARIABLE out
+    ECHO_OUTPUT_VARIABLE
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "quickstart exited with ${rc}")
+endif()
+if(NOT out MATCHES "CU marks: [1-9][0-9]*")
+    message(FATAL_ERROR "quickstart did not report a non-zero CU mark count")
+endif()

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Run every figure benchmark in a build directory and save each one's stdout
+# under <outdir>/<bench>.txt — the raw material future PRs will distill into
+# BENCH_*.json trajectories.
+#
+#   usage: scripts/run_benches.sh [build-dir] [outdir]
+set -eu
+
+build_dir=${1:-build}
+out_dir=${2:-bench-results}
+
+if [ ! -d "$build_dir" ]; then
+    echo "error: build dir '$build_dir' not found (run the tier-1 build first)" >&2
+    exit 1
+fi
+
+mkdir -p "$out_dir"
+status=0
+ran=0
+for bin in "$build_dir"/bench_*; do
+    [ -f "$bin" ] && [ -x "$bin" ] || continue
+    name=$(basename "$bin")
+    ran=$((ran + 1))
+    echo "== $name"
+    if "$bin" > "$out_dir/$name.txt" 2>&1; then
+        tail -n 3 "$out_dir/$name.txt"
+    else
+        echo "   FAILED (see $out_dir/$name.txt)" >&2
+        status=1
+    fi
+done
+if [ "$ran" -eq 0 ]; then
+    echo "error: no bench_* binaries in '$build_dir' (built with -DL4SPAN_BUILD_BENCH=ON?)" >&2
+    exit 1
+fi
+exit $status

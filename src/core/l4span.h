@@ -28,18 +28,68 @@ enum class shared_drb_policy : std::uint8_t {
     coupled,      // p_l4s = (2/K) * sqrt(p_classic)   <- L4Span §4.2.3
 };
 
+// Configuration of one L4Span entity. Every knob is tied to a paper
+// section; the table is mirrored in docs/ARCHITECTURE.md.
 struct l4span_config {
-    sim::tick sojourn_threshold = sim::from_ms(10);  // tau_s (§6.3.2 justifies 10 ms)
-    sim::tick coherence_time = sim::from_ms(24.9);   // from [78]; window = /2
-    bool short_circuit = true;       // rewrite uplink ACKs instead of DL marks (TCP)
-    bool drop_non_ecn = false;       // drop-based feedback for non-ECN flows
-    // Ablation knob: false forces e_hat = 0 in Eq. (1), reducing the L4S
-    // marker to a DualPi2-style step at the same threshold.
+    // tau_s, the predicted-sojourn threshold the marking laws aim the RLC
+    // queue at (§4.2, swept in §6.3.2 / Fig. 19). Default 10 ms: tighter
+    // thresholds starve the MAC scheduler of backlog and cost throughput;
+    // looser ones only add delay.
+    sim::tick sojourn_threshold = sim::from_ms(10);
+
+    // Channel coherence time (§4.3.3): the horizon over which the wireless
+    // egress rate can be treated as stable, so estimation windows are
+    // tau_c = coherence_time/2 (estimate from one half, apply in the other).
+    // Default 24.9 ms: the vehicular (3.5 GHz, 70 km/h) measurement the
+    // paper adopts from Wang et al. [78] — the worst case, so the estimator
+    // is safe under any slower mobility.
+    sim::tick coherence_time = sim::from_ms(24.9);
+
+    // Feedback short-circuiting (§4.4): inject congestion feedback by
+    // rewriting ECE/ACE in uplink TCP ACKs at the CU instead of marking CE
+    // on downlink packets that must first traverse the very RLC queue being
+    // signaled. Default on — it removes the downlink queueing delay from
+    // the control loop (Fig. 15). UDP media flows always fall back to
+    // downlink marking because their feedback lives in the payload.
+    bool short_circuit = true;
+
+    // Drop-based feedback for non-ECN-capable flows (§4.2 "fall back to
+    // dropping"). Default off: the evaluation's flows are ECN-capable, and
+    // dropping inside the RAN wastes the radio resources already spent.
+    bool drop_non_ecn = false;
+
+    // Error-aware L4S marking (§4.2.1, Eq. (1)): mark with the probability
+    // that the true egress rate misses the threshold under a Gaussian error
+    // model, p = Phi((N/tau_s - r_hat)/e_hat). Ablation knob: false forces
+    // e_hat = 0, degenerating to a DualPi2-style step at the same
+    // threshold (the §6.3.1 strawman).
     bool error_aware = true;
-    double classic_beta = 0.5;       // AIMD MD parameter in Eq. (2)'s K
+
+    // AIMD multiplicative-decrease factor assumed for classic flows in
+    // Eq. (2)'s throughput model r = MSS*K/(RTT*sqrt(p)). Default 0.5
+    // (Reno's halving), giving K = sqrt(3/2); CUBIC's 0.7 would bias the
+    // model, but §4.2.2 follows the classical Padhye/Mathis constant.
+    double classic_beta = 0.5;
+
+    // MSS assumed by Eq. (2) before the entity has observed a flow's real
+    // segment size. Default 1400: typical for 1500-byte-MTU paths once
+    // IP/TCP headers and encapsulation overhead are subtracted.
     std::uint32_t mss = 1400;
+
+    // Marking strategy when L4S and classic flows share one DRB (§4.2.3,
+    // evaluated in §6.2.6 / Fig. 16). Default `coupled`, L4Span's design:
+    // p_l4s = (2/K)*sqrt(p_classic) equalizes the two classes' steady-state
+    // rates at equal RTT, as in RFC 9332's coupling.
     shared_drb_policy shared_policy = shared_drb_policy::coupled;
+
+    // Seed of the entity's private RNG (probabilistic marking draws).
+    // Arbitrary but fixed so simulations are reproducible bit-for-bit.
     std::uint64_t seed = 7;
+
+    // Idle horizon after which per-flow and per-DRB state is pruned
+    // (Table 1's bounded-memory claim). Default 1 s: two orders of
+    // magnitude above the ~10 ms control loop, so live flows are never
+    // pruned, yet memory tracks the active — not historical — flow count.
     sim::tick prune_horizon = sim::from_sec(1);
 };
 
