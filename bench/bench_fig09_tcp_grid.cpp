@@ -2,81 +2,117 @@
 // under a severely congested RAN: {16, 64} UEs x RLC queue {16384, 256
 // SDUs} x base RTT {38, 106} ms x channel {static, mobile} x {vanilla,
 // +L4Span}. Box statistics match the paper's plots (p10/p25/p50/p75/p90).
+//
+// The 96 grid points are independent cells; they fan out over
+// scenario::grid_runner (--jobs N, default all cores) and print in fixed
+// grid order, so stdout is byte-identical for any worker count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "scenario/cell_scenario.h"
+#include "scenario/grid_runner.h"
+#include "stats/json.h"
 
 using namespace l4span;
 
 namespace {
 
-struct cell_result {
-    stats::sample_set owd_ms;      // pooled over all UEs
-    stats::sample_set tput_mbps;   // one sample per UE
+struct grid_point {
+    double rtt;
+    std::size_t queue;
+    int ues;
+    std::string cca;
+    std::string chan;
+    bool on;
 };
 
-cell_result run_cell(const std::string& cca, int ues, std::size_t queue, double owd_ms,
-                     const std::string& channel, bool l4span_on, sim::tick duration)
+benchutil::tcp_grid_result run_cell(const grid_point& p, sim::tick duration)
 {
-    scenario::cell_spec cell;
-    cell.num_ues = ues;
-    cell.channel = channel;
-    cell.rlc_queue_sdus = queue;
-    cell.cu = l4span_on ? scenario::cu_mode::l4span : scenario::cu_mode::none;
-    cell.seed = 1000 + static_cast<std::uint64_t>(ues) + queue;
-    scenario::cell_scenario s(cell);
-    std::vector<int> handles;
-    for (int u = 0; u < ues; ++u) {
-        scenario::flow_spec f;
-        f.cca = cca;
-        f.ue = u;
-        f.wired_owd_ms = owd_ms;
-        f.max_cwnd = 1536 * 1024;  // Linux default-autotuned receive window
-        handles.push_back(s.add_flow(f));
-    }
-    s.run(duration);
-
-    cell_result r;
-    for (int h : handles) {
-        for (double v : s.owd_ms(h).raw()) r.owd_ms.add(v);
-        r.tput_mbps.add(s.goodput_mbps(h));
-    }
-    return r;
+    return benchutil::run_tcp_grid_cell(p.cca, p.ues, p.queue, p.rtt, p.chan, p.on,
+                                        1000, duration);
 }
 
 }  // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const auto args = scenario::parse_bench_args(argc, argv);
     benchutil::header("Fig. 9: TCP one-way delay vs per-UE throughput grid",
                       "L4Span cuts Prague/CUBIC median OWD by ~98% (static), ~97% "
                       "(mobile), BBRv2 by ~52%, at <10% median throughput cost");
     const sim::tick duration = sim::from_sec(6);
-    for (const double rtt : {19.0, 53.0}) {          // one-way; ~38 / ~106 ms RTT
-        for (const std::size_t queue : {std::size_t{16384}, std::size_t{256}}) {
-            for (const int ues : {16, 64}) {
+    std::vector<double> rtts{19.0, 53.0};  // one-way; ~38 / ~106 ms RTT
+    std::vector<std::size_t> queues{16384, 256};
+    std::vector<int> ue_counts{16, 64};
+    std::vector<std::string> ccas{"prague", "bbr2", "cubic"};
+    std::vector<std::string> chans{"static", "mobile"};
+    if (args.quick) {  // 2-point CI slice: one cell, with and without L4Span
+        rtts = {19.0};
+        queues = {256};
+        ue_counts = {16};
+        ccas = {"prague"};
+        chans = {"static"};
+    }
+
+    std::vector<grid_point> points;
+    for (const double rtt : rtts)
+        for (const std::size_t queue : queues)
+            for (const int ues : ue_counts)
+                for (const auto& cca : ccas)
+                    for (const auto& chan : chans)
+                        for (const bool on : {false, true})
+                            points.push_back({rtt, queue, ues, cca, chan, on});
+
+    scenario::grid_runner pool(args.jobs);
+    std::fprintf(stderr, "fig09: %zu grid points on %d worker(s)\n", points.size(),
+                 pool.jobs());
+    const auto results = pool.map(
+        points.size(), [&](std::size_t i) { return run_cell(points[i], duration); });
+
+    auto summary = stats::json::object();
+    summary.set("figure", "fig09").set("quick", args.quick);
+    auto json_points = stats::json::array();
+
+    std::size_t idx = 0;
+    for (const double rtt : rtts) {
+        for (const std::size_t queue : queues) {
+            for (const int ues : ue_counts) {
                 std::printf("\n--- %d UEs, RLC queue %zu SDUs, base RTT %.0f ms ---\n",
                             ues, queue, 2 * rtt);
                 stats::table t({"cca", "chan", "L4Span", "OWD ms p10/p25/p50/p75/p90",
                                 "per-UE Mbit/s p10..p90", "OWD reduction"});
-                for (const std::string cca : {"prague", "bbr2", "cubic"}) {
-                    for (const std::string chan : {"static", "mobile"}) {
+                for (const auto& cca : ccas) {
+                    for (const auto& chan : chans) {
                         double base_median = 0.0;
                         for (const bool on : {false, true}) {
-                            const auto r =
-                                run_cell(cca, ues, queue, rtt, chan, on, duration);
+                            const auto& r = results[idx];
+                            const auto& p = points[idx];
+                            ++idx;
                             std::string reduction = "-";
+                            double reduction_pct = 0.0;
                             if (!on) {
                                 base_median = r.owd_ms.median();
                             } else if (base_median > 0.0) {
-                                reduction = stats::table::num(
-                                    100.0 * (1.0 - r.owd_ms.median() / base_median), 1) +
-                                    "%";
+                                reduction_pct =
+                                    100.0 * (1.0 - r.owd_ms.median() / base_median);
+                                reduction = stats::table::num(reduction_pct, 1) + "%";
                             }
                             t.add_row({cca, chan, on ? "+" : "-",
                                        benchutil::box(r.owd_ms),
                                        benchutil::box(r.tput_mbps, 2), reduction});
+                            auto jp = stats::json::object();
+                            jp.set("cca", p.cca)
+                                .set("chan", p.chan)
+                                .set("l4span", p.on)
+                                .set("ues", p.ues)
+                                .set("rlc_queue_sdus", p.queue)
+                                .set("base_rtt_ms", 2 * p.rtt)
+                                .set("owd_ms", benchutil::box_json(r.owd_ms))
+                                .set("tput_mbps", benchutil::box_json(r.tput_mbps));
+                            if (on) jp.set("owd_reduction_pct", reduction_pct);
+                            json_points.push(std::move(jp));
                         }
                     }
                 }
@@ -84,5 +120,6 @@ int main()
             }
         }
     }
-    return 0;
+    summary.set("points", std::move(json_points));
+    return benchutil::finish(args, summary);
 }

@@ -4,12 +4,16 @@
 // from the fading substrate for equivalent low- and high-Doppler cells and
 // apply the same statistic. The estimation window (half of 24.9 ms) should
 // fall below >90% of stable periods.
+//
+// The two cells trace independently; they run via scenario::grid_runner.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 #include "chan/fading.h"
 #include "chan/mcs.h"
+#include "scenario/grid_runner.h"
+#include "stats/json.h"
 #include "stats/sample_set.h"
 #include "stats/table.h"
 
@@ -17,14 +21,15 @@ using namespace l4span;
 
 namespace {
 
-stats::sample_set stable_periods(chan::channel_profile profile, std::uint64_t seed)
+stats::sample_set stable_periods(chan::channel_profile profile, std::uint64_t seed,
+                                 sim::tick trace_len)
 {
     chan::fading_channel ch(std::move(profile), sim::rng(seed));
     stats::sample_set periods;
     const sim::tick step = sim::from_ms(1);
     int mcs_min = 99, mcs_max = -1;
     sim::tick period_start = 0;
-    for (sim::tick t = 0; t < sim::from_sec(120); t += step) {
+    for (sim::tick t = 0; t < trace_len; t += step) {
         const int m = chan::mcs_from_snr(ch.snr_db(t));
         mcs_min = std::min(mcs_min, m);
         mcs_max = std::max(mcs_max, m);
@@ -40,21 +45,39 @@ stats::sample_set stable_periods(chan::channel_profile profile, std::uint64_t se
 
 }  // namespace
 
-int main()
+int main(int argc, char** argv)
 {
+    const auto args = scenario::parse_bench_args(argc, argv);
     benchutil::header("Fig. 18: channel stable period (MCS deviation <= 5)",
                       ">90% of stable periods exceed the estimation window (12.45 ms)");
     // FDD 600 MHz: Doppler ~4x lower than the 2.5 GHz TDD cell at the same
     // speed -> ~4x the coherence time.
-    chan::channel_profile fdd{"fdd-600MHz", 13.0, 4.0, sim::from_ms(140)};
-    chan::channel_profile tdd{"tdd-2.5GHz", 13.0, 4.0, sim::from_ms(34)};
+    const std::vector<chan::channel_profile> cells{
+        {"fdd-600MHz", 13.0, 4.0, sim::from_ms(140)},
+        {"tdd-2.5GHz", 13.0, 4.0, sim::from_ms(34)}};
+    const sim::tick trace_len = sim::from_sec(args.quick ? 10 : 120);
+
+    scenario::grid_runner pool(args.jobs);
+    const auto results = pool.map(cells.size(), [&](std::size_t i) {
+        return stable_periods(cells[i], 97, trace_len);
+    });
 
     stats::table t({"cell", "stable ms p10/p25/p50/p75/p90", "frac > 12.45 ms window"});
-    for (const auto& profile : {fdd, tdd}) {
-        const auto periods = stable_periods(profile, 97);
-        t.add_row({profile.name, benchutil::box(periods),
-                   stats::table::num(1.0 - periods.fraction_below(12.45), 3)});
+    auto summary = stats::json::object();
+    summary.set("figure", "fig18").set("quick", args.quick);
+    auto json_points = stats::json::array();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto& periods = results[i];
+        const double frac_above = 1.0 - periods.fraction_below(12.45);
+        t.add_row({cells[i].name, benchutil::box(periods),
+                   stats::table::num(frac_above, 3)});
+        auto jp = stats::json::object();
+        jp.set("cell", cells[i].name)
+            .set("stable_ms", benchutil::box_json(periods))
+            .set("frac_above_window", frac_above);
+        json_points.push(std::move(jp));
     }
     t.print();
-    return 0;
+    summary.set("points", std::move(json_points));
+    return benchutil::finish(args, summary);
 }

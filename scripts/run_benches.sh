@@ -1,18 +1,70 @@
 #!/usr/bin/env sh
 # Run every figure benchmark in a build directory and save each one's stdout
-# under <outdir>/<bench>.txt — the raw material future PRs will distill into
-# BENCH_*.json trajectories.
+# under <outdir>/<bench>.txt. Grid-shaped benches additionally emit a
+# machine-readable summary, collected as BENCH_<fig>.json at the repo root —
+# the per-figure trajectories the ROADMAP tracks.
 #
-#   usage: scripts/run_benches.sh [build-dir] [outdir]
+#   usage: scripts/run_benches.sh [--jobs N] [--quick] [build-dir] [outdir]
+#
+#   --jobs N   worker threads for the grid benches (default: all cores,
+#              also settable via L4SPAN_BENCH_JOBS; 1 = historical serial run)
+#   --quick    tiny grid slices (the CI perf-smoke configuration)
 set -eu
 
-build_dir=${1:-build}
-out_dir=${2:-bench-results}
+jobs=${L4SPAN_BENCH_JOBS:-0}
+quick=""
+build_dir=""
+out_dir=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --jobs)
+            jobs=$2
+            shift 2
+            ;;
+        --jobs=*)
+            jobs=${1#--jobs=}
+            shift
+            ;;
+        --quick)
+            quick="--quick"
+            shift
+            ;;
+        -*)
+            echo "usage: $0 [--jobs N] [--quick] [build-dir] [outdir]" >&2
+            exit 2
+            ;;
+        *)
+            if [ -z "$build_dir" ]; then
+                build_dir=$1
+            elif [ -z "$out_dir" ]; then
+                out_dir=$1
+            else
+                echo "unexpected argument: $1" >&2
+                exit 2
+            fi
+            shift
+            ;;
+    esac
+done
+build_dir=${build_dir:-build}
+out_dir=${out_dir:-bench-results}
+repo_root=$(dirname "$0")/..
 
 if [ ! -d "$build_dir" ]; then
     echo "error: build dir '$build_dir' not found (run the tier-1 build first)" >&2
     exit 1
 fi
+
+# Benches that understand --jobs/--quick/--json (grid_runner-based).
+grid_benches="bench_fig09_tcp_grid bench_fig14_fairness bench_fig18_coherence \
+bench_fig19_threshold bench_fig24_bbr_reno bench_tab1_overhead"
+
+is_grid_bench() {
+    for g in $grid_benches; do
+        [ "$1" = "$g" ] && return 0
+    done
+    return 1
+}
 
 mkdir -p "$out_dir"
 status=0
@@ -22,7 +74,21 @@ for bin in "$build_dir"/bench_*; do
     name=$(basename "$bin")
     ran=$((ran + 1))
     echo "== $name"
-    if "$bin" > "$out_dir/$name.txt" 2>&1; then
+    if is_grid_bench "$name"; then
+        # bench_fig09_tcp_grid -> fig09; bench_tab1_overhead -> tab1
+        fig=$(echo "$name" | cut -d_ -f2)
+        set -- $quick --json "$out_dir/BENCH_$fig.json"
+        if [ "$jobs" -gt 0 ] 2>/dev/null; then
+            set -- "$@" --jobs "$jobs"
+        fi
+        if "$bin" "$@" > "$out_dir/$name.txt" 2>&1; then
+            tail -n 3 "$out_dir/$name.txt"
+            cp "$out_dir/BENCH_$fig.json" "$repo_root/BENCH_$fig.json"
+        else
+            echo "   FAILED (see $out_dir/$name.txt)" >&2
+            status=1
+        fi
+    elif "$bin" > "$out_dir/$name.txt" 2>&1; then
         tail -n 3 "$out_dir/$name.txt"
     else
         echo "   FAILED (see $out_dir/$name.txt)" >&2

@@ -1,0 +1,71 @@
+// Parallel experiment runner for scenario grids.
+//
+// The paper's figure grids (Fig. 9/24/19/...) are hundreds of fully
+// independent cell_scenario runs: each grid point owns its own event_loop
+// and RNG, so there is no shared mutable state and points can execute on any
+// thread. grid_runner fans the points out over a std::thread pool and
+// returns results indexed by grid coordinate, so downstream table/JSON
+// output is byte-identical regardless of completion order or thread count.
+//
+// Thread-safety contract: the job callable runs on a pool thread and must
+// only touch state it owns (build the scenario inside the job). `jobs == 1`
+// runs everything inline on the calling thread — exactly the historical
+// serial behavior.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace l4span::scenario {
+
+// Worker count resolution: explicit value if > 0, else the
+// L4SPAN_BENCH_JOBS environment variable, else hardware concurrency.
+int default_jobs();
+
+class grid_runner {
+public:
+    // jobs == 0 resolves through default_jobs().
+    explicit grid_runner(int jobs = 0);
+
+    int jobs() const { return jobs_; }
+
+    // Runs fn(i) for every i in [0, n). Results come back in index order.
+    // The first exception thrown by any job is rethrown on the caller's
+    // thread after all workers drain.
+    template <typename Fn>
+    auto map(std::size_t n, Fn&& fn) -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        using result = decltype(fn(std::size_t{}));
+        std::vector<std::optional<result>> slots(n);
+        run_indexed(n, [&](std::size_t i) { slots[i].emplace(fn(i)); });
+        std::vector<result> out;
+        out.reserve(n);
+        for (auto& s : slots) out.push_back(std::move(*s));
+        return out;
+    }
+
+    // Index fan-out without result collection (jobs write their own slots).
+    void run_indexed(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+    int jobs_;
+};
+
+// --- shared CLI plumbing for the figure benches -----------------------------
+
+struct bench_args {
+    int jobs = 0;            // --jobs N (0 → default_jobs())
+    bool quick = false;      // --quick: tiny grid slice for CI perf-smoke
+    std::string json_path;   // --json PATH: write the per-figure summary
+};
+
+// Parses --jobs N / --quick / --json PATH (and -jN). Unknown arguments are
+// rejected with a usage message on stderr and exit(2) so a typo can't
+// silently run the full multi-minute grid.
+bench_args parse_bench_args(int argc, char** argv);
+
+}  // namespace l4span::scenario

@@ -4,37 +4,54 @@ namespace l4span::sim {
 
 event_loop::event_id event_loop::schedule_at(tick when, handler fn)
 {
-    auto e = std::make_shared<entry>();
-    e->when = when < now_ ? now_ : when;
-    e->id = next_id_++;
-    e->fn = std::move(fn);
-    queue_.push(e);
-    if (index_.size() <= e->id) index_.resize(e->id + 64);
-    index_[e->id] = e;
+    std::uint32_t s;
+    if (free_head_ != k_npos) {
+        s = free_head_;
+        free_head_ = slab_[s].next_free;
+    } else {
+        s = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+    }
+    slot& e = slab_[s];
+    e.fn = std::move(fn);
+    heap_push({when < now_ ? now_ : when, next_seq_++, s, e.gen});
     ++live_;
-    return e->id;
+    return make_id(s, e.gen);
 }
 
 void event_loop::cancel(event_id id)
 {
-    if (id >= index_.size()) return;
-    if (auto e = index_[id].lock(); e && !e->cancelled) {
-        e->cancelled = true;
-        e->fn = nullptr;
-        --live_;
-    }
+    const auto s = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (gen == 0 || s >= slab_.size() || slab_[s].gen != gen) return;
+    release_slot(s);  // the stale heap item is skipped on pop (gen mismatch)
+    --live_;
+}
+
+// Reclaims a slot: drop the handler, invalidate outstanding ids/heap items
+// by bumping the generation, and chain onto the free list.
+void event_loop::release_slot(std::uint32_t s)
+{
+    slot& e = slab_[s];
+    e.fn.reset();
+    if (++e.gen == 0) e.gen = 1;
+    e.next_free = free_head_;
+    free_head_ = s;
 }
 
 bool event_loop::run_one()
 {
-    while (!queue_.empty()) {
-        auto e = queue_.top();
-        queue_.pop();
-        if (e->cancelled) continue;
-        now_ = e->when;
+    while (!heap_.empty()) {
+        const heap_item top = heap_.front();
+        heap_pop();
+        if (slab_[top.slot].gen != top.gen) continue;  // cancelled
+        now_ = top.when;
+        callback fn = std::move(slab_[top.slot].fn);
+        // Free the slot before invoking: a handler that reschedules (the
+        // per-slot MAC tick, RTO rearm, ...) reuses its own record.
+        release_slot(top.slot);
         --live_;
         ++processed_;
-        auto fn = std::move(e->fn);
         fn();
         return true;
     }
@@ -43,13 +60,13 @@ bool event_loop::run_one()
 
 void event_loop::run_until(tick until)
 {
-    while (!queue_.empty()) {
-        auto& e = queue_.top();
-        if (e->cancelled) {
-            queue_.pop();
+    while (!heap_.empty()) {
+        const heap_item& top = heap_.front();
+        if (slab_[top.slot].gen != top.gen) {
+            heap_pop();
             continue;
         }
-        if (e->when > until) break;
+        if (top.when > until) break;
         run_one();
     }
     if (now_ < until) now_ = until;
@@ -59,6 +76,40 @@ void event_loop::run()
 {
     while (run_one()) {
     }
+}
+
+// Both sifts move a "hole" through the tree and write the carried item once
+// at its final position — half the memory traffic of swap-based sifting.
+void event_loop::heap_push(heap_item item)
+{
+    std::size_t i = heap_.size();
+    heap_.push_back(item);  // grows the vector; the slot is overwritten below
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!earlier(item, heap_[parent])) break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = item;
+}
+
+void event_loop::heap_pop()
+{
+    const heap_item item = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
+    while (true) {
+        const std::size_t l = 2 * i + 1, r = l + 1;
+        std::size_t best = l;
+        if (l >= n) break;
+        if (r < n && earlier(heap_[r], heap_[l])) best = r;
+        if (!earlier(heap_[best], item)) break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = item;
 }
 
 }  // namespace l4span::sim

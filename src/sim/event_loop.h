@@ -3,21 +3,129 @@
 // Events scheduled at equal times fire in scheduling order (a monotone
 // sequence number breaks ties), so runs are reproducible bit-for-bit for a
 // given seed set.
+//
+// The hot path is allocation-free: pending events live in a slab of pooled
+// records recycled through a free list, the ready queue is an index-based
+// binary heap over that slab, and handlers are stored in a small-buffer-
+// optimized `callback` whose inline buffer is sized so the simulator's
+// largest common capture (a `this` pointer plus a `net::packet` by value)
+// never touches the heap. Steady-state memory is bounded by the *peak
+// pending* event count, not by the total number of events ever scheduled.
+//
+// Thread-safety contract: an event_loop is single-threaded by design — one
+// loop per thread, no internal locking. Parallel experiments give every
+// scenario its own loop (see scenario::grid_runner).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace l4span::sim {
 
+// Move-only callable with a small-buffer optimization. Captures up to
+// `k_inline_bytes` are stored inline; larger ones fall back to a single
+// heap allocation. Replaces std::function on the event hot path, where the
+// type-erased copyable machinery and its allocation policy cost more than
+// the handler bodies themselves.
+class callback {
+public:
+    // Inline capacity: `this` + a by-value net::packet (~120 bytes) with room
+    // to spare, so every handler the simulator schedules today stays inline.
+    static constexpr std::size_t k_inline_bytes = 152;
+
+    callback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, callback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    callback(F&& f)  // NOLINT(google-explicit-constructor): handler sink
+    {
+        using fn_t = std::decay_t<F>;
+        if constexpr (sizeof(fn_t) <= k_inline_bytes &&
+                      alignof(fn_t) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void*>(buf_)) fn_t(std::forward<F>(f));
+            vt_ = &inline_vtable<fn_t>;
+        } else {
+            *reinterpret_cast<fn_t**>(buf_) = new fn_t(std::forward<F>(f));
+            vt_ = &heap_vtable<fn_t>;
+        }
+    }
+
+    callback(callback&& other) noexcept { move_from(other); }
+    callback& operator=(callback&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+    callback(const callback&) = delete;
+    callback& operator=(const callback&) = delete;
+    ~callback() { reset(); }
+
+    void operator()() { vt_->invoke(buf_); }
+    explicit operator bool() const { return vt_ != nullptr; }
+
+    void reset()
+    {
+        if (vt_) {
+            vt_->destroy(buf_);
+            vt_ = nullptr;
+        }
+    }
+
+private:
+    struct vtable {
+        void (*invoke)(void*);
+        // Move-constructs into dst and destroys src (pointer steal for the
+        // heap case), so relocation is one indirect call.
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void*) noexcept;
+    };
+
+    template <typename F>
+    static constexpr vtable inline_vtable = {
+        [](void* p) { (*static_cast<F*>(p))(); },
+        [](void* src, void* dst) noexcept {
+            ::new (dst) F(std::move(*static_cast<F*>(src)));
+            static_cast<F*>(src)->~F();
+        },
+        [](void* p) noexcept { static_cast<F*>(p)->~F(); },
+    };
+
+    template <typename F>
+    static constexpr vtable heap_vtable = {
+        [](void* p) { (**static_cast<F**>(p))(); },
+        [](void* src, void* dst) noexcept {
+            *static_cast<F**>(dst) = *static_cast<F**>(src);
+        },
+        [](void* p) noexcept { delete *static_cast<F**>(p); },
+    };
+
+    void move_from(callback& other) noexcept
+    {
+        vt_ = other.vt_;
+        if (vt_) {
+            vt_->relocate(other.buf_, buf_);
+            other.vt_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[k_inline_bytes];
+    const vtable* vt_ = nullptr;
+};
+
 class event_loop {
 public:
-    using handler = std::function<void()>;
+    using handler = callback;
     using event_id = std::uint64_t;
 
     event_loop() = default;
@@ -35,7 +143,12 @@ public:
         return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
     }
 
-    // Cancels a pending event. Cancelling an already-fired or unknown id is a no-op.
+    // Cancels a pending event. Cancelling an already-fired, cancelled, or
+    // unknown id is a safe no-op: ids carry the slot's generation counter,
+    // which is bumped whenever the slot is reclaimed, so a stale id cannot
+    // hit a recycled slot — unless a caller retains an id across ~2^32
+    // reuses of one slot (32-bit generation wrap). Callers clear stored ids
+    // on fire/cancel (see tcp_sender's RTO), keeping stale ids short-lived.
     void cancel(event_id id);
 
     // Runs a single event; returns false when the queue is empty.
@@ -50,27 +163,52 @@ public:
     std::size_t pending() const { return live_; }
     std::uint64_t processed() const { return processed_; }
 
+    // --- slab statistics (memory-boundedness regression tests) ---
+    // Pooled records ever created: bounded by peak concurrent pending events.
+    std::size_t slab_slots() const { return slab_.size(); }
+    // Records currently on the free list, awaiting reuse.
+    std::size_t free_slots() const { return slab_.size() - live_; }
+
 private:
-    struct entry {
-        tick when = 0;
-        event_id id = 0;
-        handler fn;
-        bool cancelled = false;
+    static constexpr std::uint32_t k_npos = 0xffffffffu;
+
+    // One pooled record per pending event. `when` lives in the heap item
+    // (hot during sifts); the slot only holds what fire/cancel need.
+    struct slot {
+        callback fn;
+        std::uint32_t gen = 1;  // parity with the id; never 0, so id 0 is invalid
+        std::uint32_t next_free = k_npos;
     };
-    struct later {
-        bool operator()(const std::shared_ptr<entry>& a, const std::shared_ptr<entry>& b) const
-        {
-            if (a->when != b->when) return a->when > b->when;
-            return a->id > b->id;
-        }
+    // Heap items are self-contained (when/seq copied in) so sift compares
+    // never chase the slab.
+    struct heap_item {
+        tick when;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
+    static event_id make_id(std::uint32_t s, std::uint32_t gen)
+    {
+        return (static_cast<event_id>(gen) << 32) | s;
+    }
+    static bool earlier(const heap_item& a, const heap_item& b)
+    {
+        if (a.when != b.when) return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    void heap_push(heap_item item);
+    void heap_pop();
+    void release_slot(std::uint32_t s);
+
     tick now_ = 0;
-    event_id next_id_ = 1;
+    std::uint64_t next_seq_ = 1;
     std::size_t live_ = 0;
     std::uint64_t processed_ = 0;
-    std::priority_queue<std::shared_ptr<entry>, std::vector<std::shared_ptr<entry>>, later> queue_;
-    std::vector<std::weak_ptr<entry>> index_;  // id -> entry (sparse, grows with ids)
+    std::vector<heap_item> heap_;
+    std::vector<slot> slab_;
+    std::uint32_t free_head_ = k_npos;
 };
 
 }  // namespace l4span::sim

@@ -1,0 +1,123 @@
+#include "stats/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace l4span::stats {
+
+json& json::set(std::string key, json value)
+{
+    members_.emplace_back(std::move(key), std::move(value));
+    return *this;
+}
+
+json& json::push(json value)
+{
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+std::string json::dump(int indent) const
+{
+    std::string out;
+    write(out, indent, 0);
+    out.push_back('\n');
+    return out;
+}
+
+void json::write_escaped(std::string& out, const std::string& s)
+{
+    out.push_back('"');
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+}
+
+void json::write_number(std::string& out, double v)
+{
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+        std::fabs(v) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+        out += buf;
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    out += buf;
+}
+
+void json::write(std::string& out, int indent, int depth) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * (depth + 1), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent) * depth, ' ');
+    switch (kind_) {
+    case kind::null: out += "null"; break;
+    case kind::boolean: out += bool_ ? "true" : "false"; break;
+    case kind::number: write_number(out, num_); break;
+    case kind::string: write_escaped(out, str_); break;
+    case kind::object:
+        if (members_.empty()) {
+            out += "{}";
+            break;
+        }
+        out.push_back('{');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            out += i ? ",\n" : "\n";
+            out += pad;
+            write_escaped(out, members_[i].first);
+            out += ": ";
+            members_[i].second.write(out, indent, depth + 1);
+        }
+        out.push_back('\n');
+        out += close_pad;
+        out.push_back('}');
+        break;
+    case kind::array:
+        if (elements_.empty()) {
+            out += "[]";
+            break;
+        }
+        out.push_back('[');
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            out += i ? ",\n" : "\n";
+            out += pad;
+            elements_[i].write(out, indent, depth + 1);
+        }
+        out.push_back('\n');
+        out += close_pad;
+        out.push_back(']');
+        break;
+    }
+}
+
+bool write_text_file(const std::string& path, const std::string& text)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = n == text.size() && std::fclose(f) == 0;
+    if (n != text.size()) std::fclose(f);
+    return ok;
+}
+
+}  // namespace l4span::stats

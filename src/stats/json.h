@@ -1,0 +1,55 @@
+// Minimal ordered JSON value tree + serializer for the machine-readable
+// per-figure benchmark summaries (BENCH_<fig>.json). Output is deterministic:
+// object keys keep insertion order and numbers are formatted with a fixed
+// shortest-roundtrip format, so a summary computed from identical results is
+// byte-identical regardless of how the grid was scheduled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace l4span::stats {
+
+class json {
+public:
+    json() : kind_(kind::null) {}
+    json(bool b) : kind_(kind::boolean), bool_(b) {}                     // NOLINT
+    json(double v) : kind_(kind::number), num_(v) {}                     // NOLINT
+    json(int v) : kind_(kind::number), num_(v) {}                        // NOLINT
+    json(std::int64_t v) : kind_(kind::number), num_(static_cast<double>(v)) {}  // NOLINT
+    json(std::uint64_t v) : kind_(kind::number), num_(static_cast<double>(v)) {}  // NOLINT
+    json(std::string s) : kind_(kind::string), str_(std::move(s)) {}     // NOLINT
+    json(const char* s) : kind_(kind::string), str_(s) {}                // NOLINT
+
+    static json object() { json j; j.kind_ = kind::object; return j; }
+    static json array() { json j; j.kind_ = kind::array; return j; }
+
+    // Object member (insertion-ordered). Returns *this for chaining.
+    json& set(std::string key, json value);
+    // Array element.
+    json& push(json value);
+
+    std::string dump(int indent = 2) const;
+
+private:
+    enum class kind : std::uint8_t { null, boolean, number, string, object, array };
+
+    void write(std::string& out, int indent, int depth) const;
+    static void write_escaped(std::string& out, const std::string& s);
+    static void write_number(std::string& out, double v);
+
+    kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<std::pair<std::string, json>> members_;  // object
+    std::vector<json> elements_;                         // array
+};
+
+// Writes `text` to `path` (creating parent-less paths as given); returns
+// false on I/O failure. Used by benches for their --json summaries.
+bool write_text_file(const std::string& path, const std::string& text);
+
+}  // namespace l4span::stats

@@ -1,0 +1,275 @@
+// grid_runner: thread-count-independent determinism, ordering, error
+// propagation — plus event-loop slab stress: cancel-after-fire, id
+// recycling, equal-time FIFO under the pooled heap, and memory boundedness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "scenario/cell_scenario.h"
+#include "scenario/grid_runner.h"
+#include "sim/event_loop.h"
+
+using namespace l4span;
+
+namespace {
+
+// A small but real scenario: 2 UEs, 1.5 s, prague + cubic. Returns the full
+// metric streams so equality means bit-identical simulation, not just
+// similar summaries.
+struct point_metrics {
+    std::vector<double> owd;
+    std::vector<double> rtt;
+    double goodput[2];
+    std::uint64_t events;
+};
+
+point_metrics run_point(std::size_t i)
+{
+    scenario::cell_spec cell;
+    cell.num_ues = 2;
+    cell.channel = i % 2 ? "mobile" : "static";
+    cell.cu = scenario::cu_mode::l4span;
+    cell.seed = 100 + i;
+    scenario::cell_scenario s(cell);
+    std::vector<int> handles;
+    for (int u = 0; u < 2; ++u) {
+        scenario::flow_spec f;
+        f.cca = u ? "cubic" : "prague";
+        f.ue = u;
+        handles.push_back(s.add_flow(f));
+    }
+    s.run(sim::from_sec(1.5));
+    point_metrics m;
+    for (int h : handles) {
+        for (double v : s.owd_ms(h).raw()) m.owd.push_back(v);
+        for (double v : s.rtt_ms(h).raw()) m.rtt.push_back(v);
+        m.goodput[h] = s.goodput_mbps(h);
+    }
+    m.events = s.loop().processed();
+    return m;
+}
+
+}  // namespace
+
+TEST(grid_runner, results_in_input_order)
+{
+    scenario::grid_runner pool(8);
+    const auto out = pool.map(100, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(grid_runner, one_thread_and_n_threads_identical_metric_streams)
+{
+    scenario::grid_runner serial(1);
+    scenario::grid_runner parallel(4);
+    const auto a = serial.map(4, run_point);
+    const auto b = parallel.map(4, run_point);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].owd, b[i].owd) << "point " << i;
+        EXPECT_EQ(a[i].rtt, b[i].rtt) << "point " << i;
+        EXPECT_EQ(a[i].goodput[0], b[i].goodput[0]) << "point " << i;
+        EXPECT_EQ(a[i].goodput[1], b[i].goodput[1]) << "point " << i;
+        EXPECT_EQ(a[i].events, b[i].events) << "point " << i;
+        EXPECT_FALSE(a[i].owd.empty()) << "point " << i << " produced no samples";
+    }
+}
+
+TEST(grid_runner, all_indices_run_exactly_once)
+{
+    scenario::grid_runner pool(8);
+    std::vector<std::atomic<int>> hits(257);
+    pool.run_indexed(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(grid_runner, job_exception_propagates_to_caller)
+{
+    scenario::grid_runner pool(4);
+    EXPECT_THROW(pool.run_indexed(16,
+                                  [](std::size_t i) {
+                                      if (i == 7) throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(grid_runner, jobs_resolution)
+{
+    EXPECT_EQ(scenario::grid_runner(3).jobs(), 3);
+    EXPECT_GE(scenario::grid_runner(0).jobs(), 1);  // default_jobs fallback
+    EXPECT_GE(scenario::default_jobs(), 1);
+}
+
+// --- event-loop slab / generation-counter stress ----------------------------
+
+TEST(event_loop_slab, memory_bounded_by_pending_not_total)
+{
+    sim::event_loop loop;
+    int fired = 0;
+    // 100k sequential schedule+fire cycles: only one event is ever pending,
+    // so the slab must stay at a single-digit slot count.
+    for (int i = 0; i < 100'000; ++i) {
+        loop.schedule_after(1, [&] { ++fired; });
+        loop.run_one();
+    }
+    EXPECT_EQ(fired, 100'000);
+    EXPECT_EQ(loop.pending(), 0u);
+    EXPECT_LE(loop.slab_slots(), 4u);
+    EXPECT_EQ(loop.free_slots(), loop.slab_slots());
+}
+
+TEST(event_loop_slab, cancelled_slots_are_reclaimed)
+{
+    sim::event_loop loop;
+    // Repeated schedule+cancel must recycle the same slot, not grow an index
+    // for the lifetime of the run (the old weak_ptr map grew unboundedly).
+    for (int i = 0; i < 50'000; ++i) loop.cancel(loop.schedule_after(1000, [] {}));
+    EXPECT_EQ(loop.pending(), 0u);
+    EXPECT_LE(loop.slab_slots(), 4u);
+    loop.run();
+    EXPECT_EQ(loop.processed(), 0u);
+}
+
+TEST(event_loop_slab, slab_tracks_peak_pending)
+{
+    sim::event_loop loop;
+    for (int i = 0; i < 1000; ++i) loop.schedule_at(i, [] {});
+    EXPECT_EQ(loop.pending(), 1000u);
+    EXPECT_EQ(loop.slab_slots(), 1000u);
+    loop.run();
+    EXPECT_EQ(loop.pending(), 0u);
+    // Slots persist for reuse but none are live.
+    EXPECT_EQ(loop.free_slots(), loop.slab_slots());
+}
+
+TEST(event_loop_slab, cancel_after_fire_is_noop)
+{
+    sim::event_loop loop;
+    int fired = 0;
+    const auto id = loop.schedule_at(1, [&] { ++fired; });
+    loop.run();
+    EXPECT_EQ(fired, 1);
+    loop.cancel(id);  // stale id: slot already reclaimed
+    EXPECT_EQ(loop.pending(), 0u);
+    // The slot may be recycled by a fresh event; the stale cancel must not
+    // touch it.
+    int fresh = 0;
+    loop.schedule_after(1, [&] { ++fresh; });
+    loop.cancel(id);
+    loop.run();
+    EXPECT_EQ(fresh, 1);
+}
+
+TEST(event_loop_slab, recycled_slot_gets_distinct_id)
+{
+    sim::event_loop loop;
+    const auto a = loop.schedule_at(1, [] {});
+    loop.run();
+    const auto b = loop.schedule_at(2, [] {});  // same slot, bumped generation
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, 0u);  // id 0 stays reserved as the "no event" sentinel
+    loop.cancel(a);    // stale
+    EXPECT_EQ(loop.pending(), 1u);
+    loop.cancel(b);
+    EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(event_loop_slab, double_cancel_is_noop)
+{
+    sim::event_loop loop;
+    int fired = 0;
+    const auto id = loop.schedule_at(1, [&] { ++fired; });
+    loop.schedule_at(2, [&] { ++fired; });
+    loop.cancel(id);
+    loop.cancel(id);
+    EXPECT_EQ(loop.pending(), 1u);
+    loop.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(event_loop_slab, equal_time_fifo_survives_interleaved_cancels)
+{
+    sim::event_loop loop;
+    std::vector<int> order;
+    std::vector<sim::event_loop::event_id> ids;
+    for (int i = 0; i < 64; ++i)
+        ids.push_back(loop.schedule_at(5, [&order, i] { order.push_back(i); }));
+    // Cancel every third event; the survivors must still fire in schedule
+    // order even though cancels punched holes in the slab and heap.
+    std::vector<int> expect;
+    for (int i = 0; i < 64; ++i) {
+        if (i % 3 == 0)
+            loop.cancel(ids[static_cast<std::size_t>(i)]);
+        else
+            expect.push_back(i);
+    }
+    loop.run();
+    EXPECT_EQ(order, expect);
+}
+
+TEST(event_loop_slab, self_cancel_from_handler_is_noop)
+{
+    sim::event_loop loop;
+    sim::event_loop::event_id self = 0;
+    int later = 0;
+    self = loop.schedule_at(1, [&] {
+        loop.cancel(self);  // own id: already fired, must not hurt anything
+        loop.schedule_after(1, [&] { ++later; });
+    });
+    loop.run();
+    EXPECT_EQ(later, 1);
+}
+
+TEST(event_loop_slab, heavy_random_churn_stays_consistent)
+{
+    sim::event_loop loop;
+    std::uint64_t fired = 0;
+    std::vector<sim::event_loop::event_id> live;
+    std::uint64_t state = 42;
+    auto rnd = [&state] {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return state >> 33;
+    };
+    std::size_t scheduled = 0, cancelled = 0;
+    for (int step = 0; step < 200'000; ++step) {
+        const auto choice = rnd() % 4;
+        if (choice < 2) {
+            live.push_back(loop.schedule_after(static_cast<sim::tick>(rnd() % 1000),
+                                               [&fired] { ++fired; }));
+            ++scheduled;
+        } else if (choice == 2 && !live.empty()) {
+            const auto idx = rnd() % live.size();
+            const auto before = loop.pending();
+            loop.cancel(live[idx]);  // may already have fired: both paths valid
+            if (loop.pending() < before) ++cancelled;  // was still pending
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        } else {
+            loop.run_one();
+        }
+    }
+    loop.run();
+    EXPECT_EQ(loop.pending(), 0u);
+    // Every scheduled event either fired or was cancelled while pending.
+    EXPECT_EQ(fired + cancelled, scheduled);
+    EXPECT_EQ(loop.processed(), fired);
+    // Slab bounded by peak pending (~live set), far below total scheduled.
+    EXPECT_LT(loop.slab_slots(), scheduled / 4);
+}
+
+TEST(event_loop_slab, large_capture_falls_back_to_heap_and_still_runs)
+{
+    sim::event_loop loop;
+    // Capture larger than the SBO buffer (cold path, but must be correct).
+    std::vector<double> big(64, 1.5);
+    double sum = 0.0;
+    loop.schedule_at(1, [big, &sum] {
+        for (double v : big) sum += v;
+    });
+    loop.run();
+    EXPECT_DOUBLE_EQ(sum, 96.0);
+}
