@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Reproduction-fidelity check: compare committed BENCH_*.json trajectories
+against the paper's published anchor numbers and warn on drift.
+
+Stub wiring for the ROADMAP fidelity item: today the ANCHORS table covers
+the Fig. 9 headline OWD reductions only — extend it (Fig. 24 BBR/Reno
+coexistence next) as more figures get published-number extractions.
+Warn-only by default so CI stays green while the reproduction converges;
+--strict turns drift into a nonzero exit once the numbers are pinned down.
+
+Usage: scripts/check_fidelity.py [--strict] [--tolerance PCT] [repo_root]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+TOLERANCE_PCT = 10.0
+
+# Paper-published anchors. Each entry: JSON file, a point selector
+# (key -> required value), the metric path inside the point, and the
+# published value. Fig. 9 reductions are the §6.2.1 headline numbers;
+# Fig. 24 shares are the §6.2.5 coexistence medians.
+ANCHORS = [
+    {
+        "figure": "fig09",
+        "file": "BENCH_fig09.json",
+        "select": {"cca": "prague", "chan": "static", "l4span": True,
+                   "ues": 16, "rlc_queue_sdus": 16384, "base_rtt_ms": 38},
+        "metric": ["owd_reduction_pct"],
+        "paper": 98.0,
+        "note": "Fig. 9: L4Span median OWD reduction, Prague/static",
+    },
+    {
+        "figure": "fig09",
+        "file": "BENCH_fig09.json",
+        "select": {"cca": "prague", "chan": "mobile", "l4span": True,
+                   "ues": 16, "rlc_queue_sdus": 16384, "base_rtt_ms": 38},
+        "metric": ["owd_reduction_pct"],
+        "paper": 97.0,
+        "note": "Fig. 9: L4Span median OWD reduction, Prague/mobile",
+    },
+    {
+        "figure": "fig09",
+        "file": "BENCH_fig09.json",
+        "select": {"cca": "cubic", "chan": "static", "l4span": True,
+                   "ues": 16, "rlc_queue_sdus": 16384, "base_rtt_ms": 38},
+        "metric": ["owd_reduction_pct"],
+        "paper": 98.0,
+        "note": "Fig. 9: L4Span median OWD reduction, CUBIC/static",
+    },
+    {
+        "figure": "fig09",
+        "file": "BENCH_fig09.json",
+        "select": {"cca": "bbr2", "chan": "static", "l4span": True,
+                   "ues": 16, "rlc_queue_sdus": 16384, "base_rtt_ms": 38},
+        "metric": ["owd_reduction_pct"],
+        "paper": 52.0,
+        "note": "Fig. 9: L4Span median OWD reduction, BBRv2/static",
+    },
+]
+
+
+def select_point(points, want):
+    for p in points:
+        if all(p.get(k) == v for k, v in want.items()):
+            return p
+    return None
+
+
+def dig(obj, path):
+    for key in path:
+        if not isinstance(obj, dict) or key not in obj:
+            return None
+        obj = obj[key]
+    return obj
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--strict", action="store_true",
+                    help="exit nonzero on drift (default: warn only)")
+    ap.add_argument("--tolerance", type=float, default=TOLERANCE_PCT,
+                    help="allowed relative drift in percent (default 10)")
+    ap.add_argument("repo_root", nargs="?",
+                    default=pathlib.Path(__file__).resolve().parent.parent)
+    args = ap.parse_args()
+    root = pathlib.Path(args.repo_root)
+
+    drifted = 0
+    checked = 0
+    for anchor in ANCHORS:
+        path = root / anchor["file"]
+        if not path.exists():
+            print(f"skip  {anchor['note']}: {anchor['file']} not found")
+            continue
+        data = json.loads(path.read_text())
+        if data.get("quick"):
+            print(f"skip  {anchor['note']}: {anchor['file']} is a --quick slice")
+            continue
+        point = select_point(data.get("points", []), anchor["select"])
+        if point is None:
+            print(f"skip  {anchor['note']}: no matching grid point")
+            continue
+        value = dig(point, anchor["metric"])
+        if value is None:
+            print(f"skip  {anchor['note']}: metric {anchor['metric']} missing")
+            continue
+        checked += 1
+        paper = anchor["paper"]
+        drift = 100.0 * abs(value - paper) / abs(paper)
+        status = "ok   " if drift <= args.tolerance else "DRIFT"
+        if drift > args.tolerance:
+            drifted += 1
+        print(f"{status} {anchor['note']}: repo {value:.1f} vs paper {paper:.1f} "
+              f"({drift:.1f}% drift, tolerance {args.tolerance:.0f}%)")
+
+    print(f"checked {checked} anchors, {drifted} drifted")
+    if drifted and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,9 @@
 #include "core/l4span.h"
 
 #include <algorithm>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 namespace l4span::core {
 
@@ -206,6 +209,52 @@ void l4span::on_dl_discard(ran::rnti_t ue, ran::drb_id_t drb_id, ran::pdcp_sn_t 
                            sim::tick /*now*/)
 {
     drb(ue, drb_id).table.on_discard(sn);
+}
+
+struct l4span::migrated : ran::cu_hook::ue_state {
+    std::vector<std::pair<ran::drb_id_t, drb_state>> drbs;
+    std::vector<std::pair<net::five_tuple, flow_state>> flows;
+};
+
+std::unique_ptr<ran::cu_hook::ue_state> l4span::detach_ue(ran::rnti_t ue)
+{
+    auto st = std::make_unique<migrated>();
+    // Both maps are unordered; export in sorted key order so a sharded
+    // multi-cell run stays byte-identical regardless of hash-table history.
+    std::vector<std::uint32_t> keys;
+    for (const auto& [key, d] : drbs_) {
+        (void)d;
+        if ((key >> 8) == ue) keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (const auto key : keys) {
+        st->drbs.emplace_back(static_cast<ran::drb_id_t>(key & 0xff),
+                              std::move(drbs_.at(key)));
+        drbs_.erase(key);
+    }
+    std::vector<net::five_tuple> fts;
+    for (const auto& [ft, fs] : flows_)
+        if (fs.ue == ue) fts.push_back(ft);
+    std::sort(fts.begin(), fts.end(), [](const net::five_tuple& a, const net::five_tuple& b) {
+        return std::tie(a.src_ip, a.dst_ip, a.src_port, a.dst_port, a.proto) <
+               std::tie(b.src_ip, b.dst_ip, b.src_port, b.dst_port, b.proto);
+    });
+    for (const auto& ft : fts) {
+        st->flows.emplace_back(ft, std::move(flows_.at(ft)));
+        flows_.erase(ft);
+    }
+    return st;
+}
+
+void l4span::attach_ue(ran::rnti_t ue, std::unique_ptr<ran::cu_hook::ue_state> state)
+{
+    auto* st = dynamic_cast<migrated*>(state.get());
+    if (!st) return;  // foreign hook's state: nothing to adopt
+    for (auto& [id, d] : st->drbs) drbs_.insert_or_assign(drb_key(ue, id), std::move(d));
+    for (auto& [ft, fs] : st->flows) {
+        fs.ue = ue;
+        flows_.insert_or_assign(ft, std::move(fs));
+    }
 }
 
 void l4span::refresh_marking(drb_state& d)

@@ -105,6 +105,16 @@ public:
     void on_dl_discard(ran::rnti_t ue, ran::drb_id_t drb, ran::pdcp_sn_t sn,
                        sim::tick now) override;
 
+    // X2/Xn handover (§ deployment: one entity per cell): the UE's per-DRB
+    // prediction state (profile table, egress estimate, marking
+    // probabilities) and per-flow feedback state move to the target cell's
+    // entity, re-keyed under the new RNTI. Carrying the state forward is
+    // what prevents a post-handover marking glitch: a fresh entity would
+    // first under-mark (no estimate) and then burst once it re-learned the
+    // standing queue.
+    std::unique_ptr<ran::cu_hook::ue_state> detach_ue(ran::rnti_t ue) override;
+    void attach_ue(ran::rnti_t ue, std::unique_ptr<ran::cu_hook::ue_state> state) override;
+
     // --- introspection (tests, microbenchmarks) ---
     struct drb_view {
         double rate_hat_Bps = 0.0;
@@ -157,6 +167,8 @@ private:
 
         explicit drb_state(sim::tick window) : estimator(window) {}
     };
+
+    struct migrated;  // detach_ue/attach_ue container over the private state
 
     drb_state& drb(ran::rnti_t ue, ran::drb_id_t drb_id);
     const drb_state* find_drb(ran::rnti_t ue, ran::drb_id_t drb_id) const;

@@ -3,6 +3,8 @@
 // event classes of §4.1: downlink datagram, RAN feedback, uplink packet.
 #pragma once
 
+#include <memory>
+
 #include "net/packet.h"
 #include "ran/f1u.h"
 #include "ran/types.h"
@@ -12,6 +14,18 @@ namespace l4span::ran {
 class cu_hook {
 public:
     virtual ~cu_hook() = default;
+
+    // Opaque per-UE hook state migrated at X2/Xn handover: the source cell's
+    // hook exports it via detach_ue, the target cell's hook re-keys it via
+    // attach_ue, so signaling state (e.g. L4Span's profile tables and egress
+    // estimates) survives the move instead of being re-learned. The base
+    // implementations carry nothing — a stateless or per-cell-only hook needs
+    // no changes.
+    struct ue_state {
+        virtual ~ue_state() = default;
+    };
+    virtual std::unique_ptr<ue_state> detach_ue(rnti_t /*ue*/) { return nullptr; }
+    virtual void attach_ue(rnti_t /*ue*/, std::unique_ptr<ue_state> /*state*/) {}
 
     // Downlink datagram admitted to DRB `drb`; PDCP will assign `sn`.
     // The hook may rewrite header fields (ECN marking). Return false to drop

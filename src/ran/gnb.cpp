@@ -39,19 +39,27 @@ drb_id_t gnb::add_drb(rnti_t ue, rlc_config cfg)
     rlc_rx* rx = d.rx.get();
     const rnti_t rnti = ue;
 
+    // Handlers that can fire from deferred events resolve the (RNTI, DRB)
+    // pair at fire time instead of capturing entity pointers: a handover may
+    // have detached the UE (and destroyed the entities) in between, in which
+    // case the straggler is dropped — its data was forwarded in the handover
+    // context.
+
     // F1-U: DU -> CU delivery status, with the configured interface latency.
     tx->set_status_handler([this](const dl_delivery_status& st) {
         if (!hook_) return;
         if (cfg_.f1u_latency <= 0) {
             hook_->on_delivery_status(st, loop_.now());
         } else {
-            loop_.schedule_after(cfg_.f1u_latency,
-                                 [this, st] { hook_->on_delivery_status(st, loop_.now()); });
+            loop_.schedule_after(cfg_.f1u_latency, [this, st] {
+                if (hook_ && has_ue(st.ue)) hook_->on_delivery_status(st, loop_.now());
+            });
         }
     });
     if (on_delay_) tx->set_delay_handler(on_delay_);
-    tx->set_discard_handler([this, rnti, id, rx](pdcp_sn_t sn, sim::tick now) {
-        rx->skip(sn, now);
+    tx->set_discard_handler([this, rnti, id](pdcp_sn_t sn, sim::tick now) {
+        if (ue_ctx* u = try_ue(rnti))
+            if (drb_ctx* dc = try_drb(*u, id)) dc->rx->skip(sn, now);
         if (hook_) hook_->on_dl_discard(rnti, id, sn, now);
     });
 
@@ -60,11 +68,13 @@ drb_id_t gnb::add_drb(rnti_t ue, rlc_config cfg)
         if (on_deliver_) on_deliver_(rnti, id, std::move(pkt), now);
     });
     // RLC ACK: UE -> DU status report rides the next UL opportunity.
-    rx->set_ack_handler([this, tx](pdcp_sn_t ack_sn, sim::tick) {
+    rx->set_ack_handler([this, rnti, id](pdcp_sn_t ack_sn, sim::tick) {
         const sim::tick period = cfg_.mac.slot * cfg_.mac.tdd_period_slots;
         const sim::tick wait = period - (loop_.now() % period);  // next UL slot
-        loop_.schedule_after(wait, [this, tx, ack_sn] {
-            tx->on_delivery_confirmed(ack_sn, loop_.now());
+        loop_.schedule_after(wait, [this, rnti, id, ack_sn] {
+            if (ue_ctx* u = try_ue(rnti))
+                if (drb_ctx* dc = try_drb(*u, id))
+                    dc->tx->on_delivery_confirmed(ack_sn, loop_.now());
         });
     });
 
@@ -76,6 +86,48 @@ drb_id_t gnb::add_drb(rnti_t ue, rlc_config cfg)
 void gnb::map_qos_flow(rnti_t ue, qfi_t qfi, drb_id_t drb)
 {
     find_ue(ue).sdap.map(qfi, drb);
+}
+
+ue_handover_context gnb::detach_ue(rnti_t ue)
+{
+    ue_ctx& u = find_ue(ue);
+    ue_handover_context ctx;
+    ctx.profile = u.channel.profile();
+    ctx.qfi_map = u.sdap.export_mappings();
+    for (auto& d : u.drbs) {
+        ue_handover_context::drb_context dc;
+        dc.id = d.id;
+        dc.cfg = d.tx->config();
+        dc.pdcp_next_sn = d.pdcp.next_sn();
+        dc.tx = d.tx->export_context();
+        dc.rx = d.rx->export_context();
+        ctx.drbs.push_back(std::move(dc));
+    }
+    // The dense scheduler slot stays (tombstone) so PRB-allocator indexing
+    // is stable; the RNTI stops resolving and is never reused.
+    u.drbs.clear();
+    u.pending_retx.clear();
+    u.active = false;
+    by_rnti_.erase(ue);
+    return ctx;
+}
+
+rnti_t gnb::attach_ue(ue_handover_context ctx)
+{
+    const rnti_t rnti = add_ue(ctx.profile);
+    ue_ctx& u = find_ue(rnti);
+    for (auto& dc : ctx.drbs) {
+        const drb_id_t id = add_drb(rnti, dc.cfg);
+        // add_drb assigns ids sequentially from 1, exactly how the source
+        // cell created them, so the context's ids line up.
+        if (id != dc.id) throw std::logic_error("handover context DRB id mismatch");
+        drb_ctx& d = *try_drb(u, id);
+        d.pdcp.restore(dc.pdcp_next_sn);
+        d.tx->restore(std::move(dc.tx), loop_.now());
+        d.rx->restore(dc.rx);
+    }
+    for (const auto& [qfi, drb] : ctx.qfi_map) u.sdap.map(qfi, drb);
+    return rnti;
 }
 
 void gnb::set_delay_handler(rlc_tx::delay_handler h)
@@ -94,7 +146,11 @@ void gnb::start()
 
 void gnb::deliver_downlink(net::packet pkt, rnti_t ue, qfi_t qfi)
 {
-    ue_ctx& u = find_ue(ue);
+    // A packet can race a handover (already in the core hop when the UE was
+    // detached): it is lost here, like a late X2 forward in a real deployment.
+    ue_ctx* up = try_ue(ue);
+    if (!up) return;
+    ue_ctx& u = *up;
     const drb_id_t drb_id = u.sdap.lookup(qfi);
     drb_ctx& d = find_drb(u, drb_id);
     const sim::tick now = loop_.now();
@@ -115,11 +171,13 @@ void gnb::send_uplink(rnti_t ue, net::packet pkt)
     // TDD opportunity plus bounded scheduling jitter, then reaches the CU.
     // Release times are kept monotone per UE (a UL grant carries the ACK
     // stream in order).
+    ue_ctx* up = try_ue(ue);
+    if (!up) return;  // detached mid-handover: the uplink packet is lost
+    ue_ctx& u = *up;
     const sim::tick period = cfg_.mac.slot * cfg_.mac.tdd_period_slots;
     const sim::tick wait = period - (loop_.now() % period);
     const sim::tick jitter =
         static_cast<sim::tick>(rng_.uniform(0.0, static_cast<double>(cfg_.ul_proc_jitter)));
-    ue_ctx& u = find_ue(ue);
     sim::tick release = loop_.now() + wait + jitter;
     if (release <= u.last_ul_release) release = u.last_ul_release + sim::k_microsecond;
     u.last_ul_release = release;
@@ -174,6 +232,7 @@ void gnb::on_slot()
         std::vector<ue_ctx*> who;
         const double eff_re = 168.0 * (1.0 - 0.14) * cap_factor;
         for (auto& u : ues_) {
+            if (!u->active) continue;  // detached tombstone: no bearers
             std::uint64_t backlog = 0;
             for (auto& d : u->drbs) backlog += d.tx->backlog_bytes();
             if (backlog == 0) continue;
@@ -226,12 +285,10 @@ void gnb::on_slot()
             allocator_.update_average(u.index, served);
         }
         // UEs not considered this slot (no backlog) still age their PF average.
-        for (auto& u : ues_) {
-            bool considered = false;
-            for (auto* w : who)
-                if (w == u.get()) considered = true;
-            if (!considered) allocator_.update_average(u->index, 0.0);
-        }
+        considered_scratch_.assign(ues_.size(), 0);
+        for (const auto* w : who) considered_scratch_[w->index] = 1;
+        for (auto& u : ues_)
+            if (!considered_scratch_[u->index]) allocator_.update_average(u->index, 0.0);
     }
 
     loop_.schedule_after(cfg_.mac.slot, [this] { on_slot(); });
@@ -252,28 +309,34 @@ void gnb::transmit_tb(ue_ctx& ue, drb_ctx& drb, std::vector<tb_chunk> chunks,
 
 void gnb::conclude_tb(harq_tb tb)
 {
+    // The UE may have been detached (handover) while this TB was in flight;
+    // its SDUs were forwarded in the handover context, so drop the straggler.
+    ue_ctx* u = try_ue(tb.ue);
+    if (!u) return;
     const double bler = tb.attempt == 1 ? cfg_.mac.initial_bler : cfg_.mac.retx_bler;
-    ue_ctx& u = find_ue(tb.ue);
     if (!rng_.bernoulli(bler)) {
         // Decoded: the UE's RLC sees the chunks after the over-the-air delay.
-        rlc_rx* rx = find_drb(u, tb.drb).rx.get();
-        loop_.schedule_after(cfg_.mac.ota_delay,
-                             [this, rx, chunks = std::move(tb.chunks)]() mutable {
-                                 for (auto& c : chunks) rx->on_chunk(c, loop_.now());
-                             });
+        loop_.schedule_after(
+            cfg_.mac.ota_delay,
+            [this, rnti = tb.ue, drb = tb.drb, chunks = std::move(tb.chunks)]() mutable {
+                ue_ctx* uc = try_ue(rnti);
+                if (!uc) return;
+                drb_ctx* dc = try_drb(*uc, drb);
+                if (!dc) return;
+                for (auto& c : chunks) dc->rx->on_chunk(c, loop_.now());
+            });
         return;
     }
     if (tb.attempt >= cfg_.mac.max_harq_tx) {
         // HARQ exhausted: RLC AM requeues, UM loses the data.
-        find_drb(u, tb.drb).tx->on_tb_lost(tb.chunks, loop_.now());
+        find_drb(*u, tb.drb).tx->on_tb_lost(tb.chunks, loop_.now());
         return;
     }
     // Schedule the retransmission one HARQ RTT later; it claims PRBs in the
     // first DL slot at or after that time.
     tb.attempt += 1;
-    const rnti_t ue_id = tb.ue;
-    loop_.schedule_after(cfg_.mac.harq_rtt, [this, ue_id, tb = std::move(tb)]() mutable {
-        find_ue(ue_id).pending_retx.push_back(std::move(tb));
+    loop_.schedule_after(cfg_.mac.harq_rtt, [this, tb = std::move(tb)]() mutable {
+        if (ue_ctx* uc = try_ue(tb.ue)) uc->pending_retx.push_back(std::move(tb));
     });
 }
 
@@ -312,16 +375,29 @@ std::size_t gnb::resident_state_bytes() const
 
 gnb::ue_ctx& gnb::find_ue(rnti_t ue)
 {
+    ue_ctx* u = try_ue(ue);
+    if (!u) throw std::out_of_range("unknown rnti");
+    return *u;
+}
+
+gnb::ue_ctx* gnb::try_ue(rnti_t ue)
+{
     const auto it = by_rnti_.find(ue);
-    if (it == by_rnti_.end()) throw std::out_of_range("unknown rnti");
-    return *it->second;
+    return it != by_rnti_.end() ? it->second : nullptr;
 }
 
 gnb::drb_ctx& gnb::find_drb(ue_ctx& ue, drb_id_t id)
 {
+    drb_ctx* d = try_drb(ue, id);
+    if (!d) throw std::out_of_range("unknown drb");
+    return *d;
+}
+
+gnb::drb_ctx* gnb::try_drb(ue_ctx& ue, drb_id_t id)
+{
     for (auto& d : ue.drbs)
-        if (d.id == id) return d;
-    throw std::out_of_range("unknown drb");
+        if (d.id == id) return &d;
+    return nullptr;
 }
 
 }  // namespace l4span::ran

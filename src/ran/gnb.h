@@ -29,6 +29,24 @@ struct gnb_config {
     sim::tick ul_proc_jitter = sim::from_ms(2);
 };
 
+// X2/Xn handover context: everything a target cell needs to resume serving
+// a UE — SN status transfer, forwarded downlink data, the QFI map, and the
+// CU hook's opaque marking state (filled in by the scenario layer that owns
+// the hook; the gNB only carries it).
+struct ue_handover_context {
+    chan::channel_profile profile;
+    struct drb_context {
+        drb_id_t id = 0;
+        rlc_config cfg;
+        pdcp_sn_t pdcp_next_sn = 1;
+        rlc_tx::context tx;
+        rlc_rx::context rx;
+    };
+    std::vector<drb_context> drbs;
+    std::vector<std::pair<qfi_t, drb_id_t>> qfi_map;
+    std::unique_ptr<cu_hook::ue_state> hook_state;
+};
+
 class gnb {
 public:
     // (ue, drb, packet, now): SDU delivered to the UE's upper stack.
@@ -44,6 +62,17 @@ public:
     rnti_t add_ue(chan::channel_profile profile);
     drb_id_t add_drb(rnti_t ue, rlc_config cfg);
     void map_qos_flow(rnti_t ue, qfi_t qfi, drb_id_t drb);
+
+    // --- X2/Xn handover ---
+    // Exports the UE's bearer state (SN status + forwarded data) and detaches
+    // it: the RNTI stops resolving, straggler events for it (in-flight HARQ
+    // TBs, OTA deliveries, stale uplink) are dropped, and RNTIs are never
+    // reused. The hook_state member is left empty — the caller owns the hook.
+    ue_handover_context detach_ue(rnti_t ue);
+    // Admits a handed-over UE under a freshly assigned RNTI (the channel
+    // realization is re-drawn for the new cell; the profile is carried over).
+    rnti_t attach_ue(ue_handover_context ctx);
+    bool has_ue(rnti_t ue) const { return by_rnti_.count(ue) != 0; }
 
     void set_cu_hook(cu_hook* hook) { hook_ = hook; }
     void set_deliver_handler(deliver_handler h) { on_deliver_ = std::move(h); }
@@ -97,6 +126,9 @@ private:
         std::vector<drb_ctx> drbs;
         std::vector<harq_tb> pending_retx;  // due HARQ retransmissions
         sim::tick last_ul_release = 0;      // keeps the uplink FIFO per UE
+        // Detached by handover: the slot stays (the PRB allocator's dense
+        // index space never shrinks) but carries no bearers or backlog.
+        bool active = true;
     };
 
     void on_slot();
@@ -106,6 +138,10 @@ private:
     bool is_dl_slot(std::uint64_t slot_idx, double& capacity_factor) const;
     drb_ctx& find_drb(ue_ctx& ue, drb_id_t id);
     ue_ctx& find_ue(rnti_t ue);
+    // nullptr when the RNTI is unknown or detached — the graceful path for
+    // events that may race a handover.
+    ue_ctx* try_ue(rnti_t ue);
+    drb_ctx* try_drb(ue_ctx& ue, drb_id_t id);
 
     sim::event_loop& loop_;
     gnb_config cfg_;
@@ -121,6 +157,10 @@ private:
     rnti_t next_rnti_ = 1;
     std::uint64_t slot_count_ = 0;
     bool started_ = false;
+    // Per-slot scratch: which dense UE indices the scheduler considered.
+    // Kept as a member so a 256-UE cell does not churn an allocation per
+    // slot (the old code was an O(UEs x backlogged) pointer scan).
+    std::vector<std::uint8_t> considered_scratch_;
 };
 
 }  // namespace l4span::ran

@@ -20,6 +20,10 @@ public:
     // table before the SDU enters the RLC).
     pdcp_sn_t next_sn() const { return next_sn_; }
 
+    // X2/Xn SN status transfer: the target cell continues the source's SN
+    // space, so profile tables keyed by SN stay valid across handover.
+    void restore(pdcp_sn_t next) { next_sn_ = next; }
+
     pdcp_sdu wrap(net::packet pkt, sim::tick now)
     {
         pdcp_sdu s;

@@ -86,6 +86,61 @@ std::vector<tb_chunk> rlc_tx::pull(std::uint32_t grant_bytes, sim::tick now)
     return chunks;
 }
 
+rlc_tx::context rlc_tx::export_context()
+{
+    context ctx;
+    ctx.delivered_watermark = delivered_watermark_;
+    ctx.any_delivered = any_delivered_;
+
+    // Unacknowledged SDUs: fully transmitted awaiting RLC ACK, plus pending
+    // ARQ retransmissions. Sorted by SN so the target retransmits in order
+    // (awaiting_delivery_ is an unordered map; a deterministic export order
+    // is what keeps sharded runs byte-identical).
+    std::vector<pdcp_sdu> unacked;
+    unacked.reserve(awaiting_delivery_.size() + retx_queue_.size());
+    for (auto& [sn, entry] : awaiting_delivery_) {
+        pdcp_sdu s;
+        s.sn = sn;
+        s.pkt = std::move(entry.first);
+        s.size = s.pkt.size_bytes();
+        unacked.push_back(std::move(s));
+    }
+    for (auto& r : retx_queue_) {
+        pdcp_sdu s;
+        s.sn = r.sn;
+        s.pkt = std::move(r.pkt);
+        s.size = r.size;
+        unacked.push_back(std::move(s));
+    }
+    std::sort(unacked.begin(), unacked.end(),
+              [](const pdcp_sdu& a, const pdcp_sdu& b) { return a.sn < b.sn; });
+    ctx.forwarded = std::move(unacked);
+    // Fresh queue behind them, already in SN order. A partially pulled head
+    // SDU is forwarded whole and re-sent from scratch by the target.
+    for (auto& q : queue_) ctx.forwarded.push_back(std::move(q.sdu));
+
+    queue_.clear();
+    retx_queue_.clear();
+    awaiting_delivery_.clear();
+    fresh_bytes_ = 0;
+    retx_bytes_ = 0;
+    return ctx;
+}
+
+void rlc_tx::restore(context ctx, sim::tick now)
+{
+    delivered_watermark_ = ctx.delivered_watermark;
+    any_delivered_ = ctx.any_delivered;
+    for (auto& s : ctx.forwarded) {
+        s.ingress_time = now;  // re-enqueued at the target cell
+        queued_sdu q;
+        q.sdu = std::move(s);
+        if (queue_.empty()) q.head_time = now;
+        fresh_bytes_ += q.sdu.size;
+        queue_.push_back(std::move(q));
+    }
+}
+
 void rlc_tx::on_tb_lost(const std::vector<tb_chunk>& chunks, sim::tick now)
 {
     if (cfg_.mode == rlc_mode::um) return;  // UM: lost is lost
@@ -161,6 +216,29 @@ void rlc_rx::skip(pdcp_sn_t sn, sim::tick now)
     skipped_[sn] = true;
     pending_.erase(sn);
     drain(now);
+}
+
+rlc_rx::context rlc_rx::export_context()
+{
+    context ctx;
+    ctx.next_expected = next_expected_;
+    ctx.skipped.reserve(skipped_.size());
+    for (const auto& [sn, flag] : skipped_) {
+        (void)flag;
+        ctx.skipped.push_back(sn);
+    }
+    std::sort(ctx.skipped.begin(), ctx.skipped.end());
+    pending_.clear();
+    skipped_.clear();
+    um_gap_deadline_ = -1;
+    return ctx;
+}
+
+void rlc_rx::restore(const context& ctx)
+{
+    next_expected_ = ctx.next_expected;
+    for (const pdcp_sn_t sn : ctx.skipped) skipped_[sn] = true;
+    um_gap_deadline_ = -1;
 }
 
 void rlc_rx::drain(sim::tick now)

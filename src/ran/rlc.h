@@ -80,6 +80,24 @@ public:
     void set_delay_handler(delay_handler h) { on_delay_ = std::move(h); }
     void set_discard_handler(discard_handler h) { on_discard_ = std::move(h); }
 
+    // --- X2/Xn handover (gnb::detach_ue / attach_ue) ---
+    // Everything the target cell's RLC entity needs to resume the bearer:
+    // the SDUs not yet confirmed delivered (the X2 data-forwarding path —
+    // unacknowledged SDUs in SN order, then the fresh queue) plus the
+    // delivered watermark so F1-U status reports stay monotone.
+    struct context {
+        std::vector<pdcp_sdu> forwarded;
+        pdcp_sn_t delivered_watermark = 0;
+        bool any_delivered = false;
+    };
+    // Drains this entity into a context; it is left empty.
+    context export_context();
+    // Only valid on a freshly constructed entity. Forwarded SDUs re-enter
+    // the fresh queue whole (segment-level transfer is below the fidelity
+    // the queueing model needs) and count against no admission limit: X2
+    // forwarding must not drop data the source already admitted.
+    void restore(context ctx, sim::tick now);
+
     pdcp_sn_t highest_transmitted() const { return highest_txed_; }
     pdcp_sn_t highest_delivered() const { return delivered_watermark_; }
     std::uint64_t drops() const { return drops_; }
@@ -149,6 +167,19 @@ public:
     void set_ack_handler(ack_handler h) { on_ack_ = std::move(h); }
 
     pdcp_sn_t delivered_watermark() const { return next_expected_ - 1; }
+
+    // --- X2/Xn handover ---
+    // The receive entity is re-established at handover (TS 38.322): partial
+    // reassembly state is flushed — every SDU not yet delivered in order is
+    // unacknowledged at the source and rides the forwarded-data path — but
+    // the in-order point and the DU-discarded holes must survive, or the
+    // target stalls forever waiting for SN 1.
+    struct context {
+        pdcp_sn_t next_expected = 1;
+        std::vector<pdcp_sn_t> skipped;  // sorted
+    };
+    context export_context();
+    void restore(const context& ctx);
 
 private:
     struct partial {

@@ -1,7 +1,10 @@
 // SDAP: maps QoS flow identifiers onto data radio bearers.
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "ran/types.h"
 
@@ -12,6 +15,15 @@ public:
     void map(qfi_t qfi, drb_id_t drb) { qfi_to_drb_[qfi] = drb; }
 
     void set_default_drb(drb_id_t drb) { default_drb_ = drb; }
+
+    // X2/Xn handover export, sorted by QFI for deterministic replay.
+    std::vector<std::pair<qfi_t, drb_id_t>> export_mappings() const
+    {
+        std::vector<std::pair<qfi_t, drb_id_t>> out(qfi_to_drb_.begin(),
+                                                    qfi_to_drb_.end());
+        std::sort(out.begin(), out.end());
+        return out;
+    }
 
     drb_id_t lookup(qfi_t qfi) const
     {

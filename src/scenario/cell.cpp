@@ -1,0 +1,351 @@
+#include "scenario/cell.h"
+
+#include <stdexcept>
+
+namespace l4span::scenario {
+
+namespace {
+constexpr sim::tick k_sample_period = sim::from_ms(10);
+}  // namespace
+
+bool is_l4s_cca(const std::string& cca)
+{
+    return cca == "prague" || cca == "bbr2" || cca == "scream" || cca == "udp-prague";
+}
+
+bool is_media_cca(const std::string& cca)
+{
+    return cca == "scream" || cca == "udp-prague";
+}
+
+chan::channel_profile channel_by_name(const std::string& name, std::uint64_t variant)
+{
+    chan::channel_profile p;
+    if (name == "static") p = chan::channel_profile::static_channel();
+    else if (name == "pedestrian") p = chan::channel_profile::pedestrian();
+    else if (name == "vehicular") p = chan::channel_profile::vehicular();
+    else if (name == "mobile") {
+        // "Mobile" combines pedestrian- and vehicular-speed channels (§6.2.1):
+        // alternate per UE.
+        p = (variant % 2 == 0) ? chan::channel_profile::pedestrian()
+                               : chan::channel_profile::vehicular();
+        p.name = "mobile";
+    } else {
+        throw std::invalid_argument("unknown channel profile: " + name);
+    }
+    return p;
+}
+
+// --- flow endpoints ---------------------------------------------------------
+
+void flow_endpoints::on_downlink(const net::packet& pkt)
+{
+    if (is_media) mrcv->on_packet(pkt);
+    else rcv->on_packet(pkt);
+}
+
+void flow_endpoints::on_uplink(const net::packet& pkt)
+{
+    if (is_media) msnd->on_packet(pkt);
+    else snd->on_packet(pkt);
+}
+
+const stats::sample_set& flow_endpoints::owd_samples() const
+{
+    return is_media ? mrcv->owd_samples() : rcv->owd_samples();
+}
+
+const stats::sample_set& flow_endpoints::rtt_samples() const
+{
+    return is_media ? msnd->rtt_samples() : snd->rtt_samples();
+}
+
+const stats::rate_series& flow_endpoints::goodput() const
+{
+    return is_media ? mrcv->goodput() : rcv->goodput();
+}
+
+std::uint64_t flow_endpoints::delivered_bytes() const
+{
+    return is_media ? static_cast<std::uint64_t>(mrcv->goodput().total_bytes())
+                    : rcv->received_bytes();
+}
+
+std::uint64_t flow_endpoints::cwnd_bytes() const
+{
+    return is_media ? 0 : snd->cwnd_bytes();
+}
+
+bool flow_endpoints::tcp_finished() const
+{
+    return !is_media && snd->finished();
+}
+
+sim::tick flow_endpoints::tcp_finish_time() const
+{
+    return is_media ? -1 : snd->finish_time();
+}
+
+flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
+                                   int handle, int ue_addr,
+                                   std::function<void(net::packet)> dl_send,
+                                   std::function<void(net::packet)> ul_send)
+{
+    flow_endpoints ep;
+    ep.is_media = is_media_cca(spec.cca);
+
+    // Synthetic five-tuple: unique server per flow.
+    net::five_tuple ft;
+    ft.src_ip = 0x0a000001u + static_cast<std::uint32_t>(handle);  // 10.0.0.x server
+    ft.dst_ip = 0xc0a80001u + static_cast<std::uint32_t>(ue_addr);
+    ft.src_port = 443;
+    ft.dst_port = static_cast<std::uint16_t>(50000 + handle);
+    ft.proto = ep.is_media ? net::ip_proto::udp : net::ip_proto::tcp;
+
+    if (ep.is_media) {
+        media::media_config mcfg;
+        mcfg.ft = ft;
+        mcfg.flow_id = static_cast<std::uint64_t>(handle);
+        mcfg.max_rate_bps = spec.media_max_bps;
+        mcfg.start_rate_bps = spec.media_start_bps;
+        auto rc = spec.cca == "scream" ? media::make_scream(mcfg)
+                                       : media::make_udp_prague(mcfg);
+        ep.msnd = std::make_unique<media::media_sender>(loop, mcfg, std::move(rc),
+                                                        std::move(dl_send));
+        ep.mrcv = std::make_unique<media::media_receiver>(loop, mcfg, std::move(ul_send));
+        media::media_sender* snd = ep.msnd.get();
+        loop.schedule_at(spec.start_time, [snd] { snd->start(); });
+        if (spec.stop_time >= 0)
+            loop.schedule_at(spec.stop_time, [snd] { snd->stop(); });
+    } else {
+        transport::tcp_config tcfg;
+        tcfg.mss = spec.mss;
+        tcfg.max_cwnd = spec.max_cwnd;
+        tcfg.flow_bytes = spec.flow_bytes;
+        tcfg.ft = ft;
+        tcfg.flow_id = static_cast<std::uint64_t>(handle);
+        auto cc = transport::make_cc(spec.cca, spec.mss);
+        const bool accecn = cc->uses_accecn();
+        ep.snd = std::make_unique<transport::tcp_sender>(loop, tcfg, std::move(cc),
+                                                         std::move(dl_send));
+        ep.rcv = std::make_unique<transport::tcp_receiver>(loop, tcfg, accecn,
+                                                           std::move(ul_send));
+        transport::tcp_sender* snd = ep.snd.get();
+        loop.schedule_at(spec.start_time, [snd] { snd->start(); });
+        if (spec.stop_time >= 0)
+            loop.schedule_at(spec.stop_time, [snd] { snd->stop(); });
+    }
+    return ep;
+}
+
+double flow_goodput_mbps(const flow_spec& spec, const flow_endpoints& ep,
+                         sim::tick scenario_duration)
+{
+    sim::tick end = spec.stop_time >= 0 ? spec.stop_time : scenario_duration;
+    if (ep.tcp_finished()) end = ep.tcp_finish_time();
+    const sim::tick active = end - spec.start_time;
+    if (active <= 0) return 0.0;
+    return static_cast<double>(ep.delivered_bytes()) * 8.0 / sim::to_sec(active) / 1e6;
+}
+
+// --- cell -------------------------------------------------------------------
+
+cell::cell(sim::event_loop& loop, cell_spec spec, int index)
+    : loop_(loop), spec_(std::move(spec)), index_(index), rng_(spec_.seed)
+{
+    ran::gnb_config gcfg;
+    gcfg.mac.policy = spec_.sched;
+    gnb_ = std::make_unique<ran::gnb>(loop_, gcfg, rng_.fork());
+
+    switch (spec_.cu) {
+    case cu_mode::l4span: {
+        auto cfg = spec_.l4s;
+        cfg.seed = rng_.fork().engine()();
+        l4span_ = std::make_unique<core::l4span>(cfg);
+        hook_ = l4span_.get();
+        gnb_->set_cu_hook(l4span_.get());
+        break;
+    }
+    case cu_mode::dualpi2_ran:
+        dualpi2_ = std::make_unique<dualpi2_ran_hook>(spec_.dualpi2);
+        hook_ = dualpi2_.get();
+        gnb_->set_cu_hook(dualpi2_.get());
+        break;
+    case cu_mode::tcran:
+        tcran_ = std::make_unique<tc_ran>(loop_, *gnb_, spec_.tcran);
+        break;
+    case cu_mode::none: break;
+    }
+
+    for (int u = 0; u < spec_.num_ues; ++u) add_ue(static_cast<std::uint64_t>(u));
+
+    gnb_->set_delay_handler([this](const ran::sdu_delay_report& r) {
+        queuing_sum_ms_ += sim::to_ms(r.queuing);
+        sched_sum_ms_ += sim::to_ms(r.scheduling);
+        ++delay_reports_;
+    });
+    gnb_->set_txlog_handler(
+        [this](ran::rnti_t ue, ran::drb_id_t, std::uint32_t bytes, sim::tick now) {
+            const auto it = by_rnti_.find(ue);
+            if (it != by_rnti_.end()) it->second->tx_log.emplace_back(now, bytes);
+        });
+}
+
+cell::~cell() = default;
+
+ran::rnti_t cell::add_ue(std::uint64_t variant)
+{
+    const auto profile = channel_by_name(spec_.channel, variant);
+    const ran::rnti_t rnti = gnb_->add_ue(profile);
+
+    ran::rlc_config rlc;
+    rlc.mode = spec_.rlc_mode;
+    rlc.max_queue_sdus = spec_.rlc_queue_sdus;
+
+    auto r = std::make_unique<ue_rec>();
+    r->rnti = rnti;
+    r->default_drb = gnb_->add_drb(rnti, rlc);
+    r->classic_drb = spec_.separate_drbs_per_class ? gnb_->add_drb(rnti, rlc)
+                                                   : r->default_drb;
+    by_rnti_[rnti] = r.get();
+    ues_.push_back(std::move(r));
+    return rnti;
+}
+
+ran::rnti_t cell::rnti_of(std::size_t i) const
+{
+    return ues_.at(i)->rnti;
+}
+
+ran::qfi_t cell::alloc_qfi(ran::rnti_t ue)
+{
+    return static_cast<ran::qfi_t>(rec(ue).next_qfi++);
+}
+
+ran::drb_id_t cell::map_qos_flow(ran::rnti_t ue, ran::qfi_t qfi, bool l4s_class)
+{
+    ue_rec& r = rec(ue);
+    const ran::drb_id_t drb = l4s_class ? r.default_drb : r.classic_drb;
+    gnb_->map_qos_flow(ue, qfi, drb);
+    return drb;
+}
+
+void cell::start()
+{
+    if (started_) return;
+    started_ = true;
+    gnb_->start();
+    schedule_sampling();
+}
+
+void cell::schedule_sampling()
+{
+    loop_.schedule_after(k_sample_period, [this] {
+        for (auto& r : ues_) {
+            if (!r->attached) continue;
+            const auto sdus =
+                static_cast<double>(gnb_->rlc(r->rnti, r->default_drb).queued_sdus());
+            r->rlc_samples.add(sdus);
+            r->rlc_series.add(loop_.now(), sdus);
+        }
+        schedule_sampling();
+    });
+}
+
+void cell::deliver_downlink(net::packet pkt, ran::rnti_t ue, ran::qfi_t qfi)
+{
+    // TC-RAN intercepts at the CU ingress; everything else goes straight in.
+    if (tcran_) tcran_->deliver_downlink(std::move(pkt), ue, qfi);
+    else gnb_->deliver_downlink(std::move(pkt), ue, qfi);
+}
+
+void cell::send_uplink(ran::rnti_t ue, net::packet pkt)
+{
+    gnb_->send_uplink(ue, std::move(pkt));
+}
+
+bool cell::has_ue(ran::rnti_t ue) const
+{
+    return gnb_->has_ue(ue);
+}
+
+ran::ue_handover_context cell::detach_ue(ran::rnti_t ue)
+{
+    auto ctx = gnb_->detach_ue(ue);
+    if (hook_) ctx.hook_state = hook_->detach_ue(ue);
+    rec(ue).attached = false;  // stats freeze; the record stays queryable
+    return ctx;
+}
+
+ran::rnti_t cell::attach_ue(ran::ue_handover_context ctx)
+{
+    // Bearer bookkeeping mirrored from the context before it is consumed.
+    const bool separated = ctx.drbs.size() > 1;
+    int next_qfi = 1;
+    for (const auto& [qfi, drb] : ctx.qfi_map) {
+        (void)drb;
+        next_qfi = std::max(next_qfi, static_cast<int>(qfi) + 1);
+    }
+    auto hook_state = std::move(ctx.hook_state);
+
+    const ran::rnti_t rnti = gnb_->attach_ue(std::move(ctx));
+    if (hook_ && hook_state) hook_->attach_ue(rnti, std::move(hook_state));
+
+    auto r = std::make_unique<ue_rec>();
+    r->rnti = rnti;
+    r->default_drb = 1;
+    r->classic_drb = separated ? 2 : 1;
+    r->next_qfi = next_qfi;
+    by_rnti_[rnti] = r.get();
+    ues_.push_back(std::move(r));
+    return rnti;
+}
+
+void cell::set_deliver_handler(ran::gnb::deliver_handler h)
+{
+    gnb_->set_deliver_handler(std::move(h));
+}
+
+void cell::set_uplink_handler(ran::gnb::uplink_handler h)
+{
+    gnb_->set_uplink_handler(std::move(h));
+}
+
+const stats::sample_set& cell::rlc_queue_sdus(ran::rnti_t ue) const
+{
+    return rec(ue).rlc_samples;
+}
+
+const stats::value_series& cell::rlc_queue_series(ran::rnti_t ue) const
+{
+    return rec(ue).rlc_series;
+}
+
+const std::vector<std::pair<sim::tick, std::uint32_t>>& cell::tx_log(ran::rnti_t ue) const
+{
+    return rec(ue).tx_log;
+}
+
+double cell::mean_queuing_ms() const
+{
+    return delay_reports_ ? queuing_sum_ms_ / static_cast<double>(delay_reports_) : 0.0;
+}
+
+double cell::mean_scheduling_ms() const
+{
+    return delay_reports_ ? sched_sum_ms_ / static_cast<double>(delay_reports_) : 0.0;
+}
+
+cell::ue_rec& cell::rec(ran::rnti_t ue)
+{
+    const auto it = by_rnti_.find(ue);
+    if (it == by_rnti_.end()) throw std::out_of_range("unknown rnti in cell");
+    return *it->second;
+}
+
+const cell::ue_rec& cell::rec(ran::rnti_t ue) const
+{
+    return const_cast<cell*>(this)->rec(ue);
+}
+
+}  // namespace l4span::scenario

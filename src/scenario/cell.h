@@ -1,0 +1,188 @@
+// One cell of a (possibly multi-cell) experiment: the gNB, its CU hook
+// (L4Span or a baseline), per-UE DRB bookkeeping and instrumentation.
+//
+// A cell runs on an externally owned event loop, so a scenario can place
+// one cell on its private loop (cell_scenario) or one cell per shard of a
+// sim::shard_group (scenario::topology). X2/Xn handover moves a UE between
+// two cells via detach_ue/attach_ue, carrying RLC/PDCP bearer state and the
+// CU hook's marking state.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/l4span.h"
+#include "media/media.h"
+#include "ran/gnb.h"
+#include "scenario/baselines.h"
+#include "sim/event_loop.h"
+#include "stats/sample_set.h"
+#include "stats/timeseries.h"
+#include "transport/tcp.h"
+
+namespace l4span::scenario {
+
+enum class cu_mode : std::uint8_t {
+    none,         // vanilla RAN: deep RLC queue, no signaling (the status quo)
+    l4span,       // the paper's system
+    dualpi2_ran,  // §6.3.1 microbenchmark baseline
+    tcran,        // §6.2.2 comparison baseline
+};
+
+struct cell_spec {
+    int num_ues = 1;
+    std::string channel = "static";  // static | pedestrian | vehicular | mobile
+    std::size_t rlc_queue_sdus = 16384;  // srsRAN default; the paper also uses 256
+    ran::rlc_mode rlc_mode = ran::rlc_mode::am;
+    ran::sched_policy sched = ran::sched_policy::round_robin;
+    cu_mode cu = cu_mode::l4span;
+    core::l4span_config l4s;
+    tc_ran::config tcran;
+    dualpi2_ran_hook::config dualpi2;
+    std::uint64_t seed = 1;
+    // Put L4S and classic flows of one UE on separate DRBs (§4.2.3 default
+    // deployment; false models the low-end shared-DRB UE of §6.2.6).
+    bool separate_drbs_per_class = false;
+    // Optional shared wired bottleneck on the forward path (Fig. 2): rate
+    // changes according to `bottleneck_schedule` (time, bps). Consumed by
+    // cell_scenario only.
+    double bottleneck_bps = 0.0;
+    std::vector<std::pair<sim::tick, double>> bottleneck_schedule;
+};
+
+struct flow_spec {
+    std::string cca = "prague";  // reno|cubic|prague|bbr|bbr2|scream|udp-prague
+    int ue = 0;                  // UE index (cell-local or topology-global)
+    sim::tick start_time = 0;
+    sim::tick stop_time = -1;            // long-lived flows run to scenario end
+    std::uint64_t flow_bytes = 0;        // >0: short-lived flow, measures FCT
+    double wired_owd_ms = 19.0;          // one-way server->core ("east" Azure)
+    std::uint32_t mss = 1400;
+    std::uint64_t max_cwnd = 4ull << 20;
+    double media_max_bps = 38e6;
+    double media_start_bps = 1e6;
+};
+
+// Maps the paper's channel labels to profiles.
+chan::channel_profile channel_by_name(const std::string& name, std::uint64_t variant = 0);
+
+bool is_l4s_cca(const std::string& cca);
+bool is_media_cca(const std::string& cca);
+
+// One flow's endpoints: server-side sender and UE-side receiver (TCP or
+// media), wired to scenario-supplied send callbacks. Both endpoints live on
+// the loop they were created with — in a sharded topology that is the UE's
+// home shard, which never changes even as the UE hands over between cells.
+struct flow_endpoints {
+    bool is_media = false;
+    std::unique_ptr<transport::tcp_sender> snd;
+    std::unique_ptr<transport::tcp_receiver> rcv;
+    std::unique_ptr<media::media_sender> msnd;
+    std::unique_ptr<media::media_receiver> mrcv;
+
+    void on_downlink(const net::packet& pkt);  // deliver to the receiver
+    void on_uplink(const net::packet& pkt);    // deliver feedback to the sender
+
+    const stats::sample_set& owd_samples() const;
+    const stats::sample_set& rtt_samples() const;
+    const stats::rate_series& goodput() const;
+    std::uint64_t delivered_bytes() const;
+    std::uint64_t cwnd_bytes() const;
+    bool tcp_finished() const;
+    sim::tick tcp_finish_time() const;
+};
+
+// Builds the endpoints for `spec` and schedules their start/stop events on
+// `loop`. `handle` and `ue_addr` synthesize the unique five-tuple.
+flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
+                                   int handle, int ue_addr,
+                                   std::function<void(net::packet)> dl_send,
+                                   std::function<void(net::packet)> ul_send);
+
+// Goodput over the flow's active period — shared by every harness so the
+// single-cell and multi-cell metric definitions cannot diverge.
+double flow_goodput_mbps(const flow_spec& spec, const flow_endpoints& ep,
+                         sim::tick scenario_duration);
+
+class cell {
+public:
+    cell(sim::event_loop& loop, cell_spec spec, int index = 0);
+    ~cell();
+
+    sim::event_loop& loop() { return loop_; }
+    int index() const { return index_; }
+    const cell_spec& spec() const { return spec_; }
+
+    // --- topology construction ---
+    // Adds a UE with the spec's channel; `variant` seeds the pedestrian /
+    // vehicular alternation of the "mobile" profile.
+    ran::rnti_t add_ue(std::uint64_t variant);
+    // RNTI of the i-th UE added (initial construction order).
+    ran::rnti_t rnti_of(std::size_t i) const;
+    // Allocates the UE's next QFI.
+    ran::qfi_t alloc_qfi(ran::rnti_t ue);
+    // Routes `qfi` to the UE's per-class DRB; returns the DRB chosen.
+    ran::drb_id_t map_qos_flow(ran::rnti_t ue, ran::qfi_t qfi, bool l4s_class);
+
+    // Starts the slot clock and queue sampling. Call once.
+    void start();
+
+    // --- data path (core/UPF side) ---
+    void deliver_downlink(net::packet pkt, ran::rnti_t ue, ran::qfi_t qfi);
+    void send_uplink(ran::rnti_t ue, net::packet pkt);
+    bool has_ue(ran::rnti_t ue) const;
+
+    // --- X2/Xn handover ---
+    ran::ue_handover_context detach_ue(ran::rnti_t ue);
+    ran::rnti_t attach_ue(ran::ue_handover_context ctx);
+
+    void set_deliver_handler(ran::gnb::deliver_handler h);
+    void set_uplink_handler(ran::gnb::uplink_handler h);
+
+    // --- instrumentation ---
+    ran::gnb& gnb() { return *gnb_; }
+    core::l4span* l4span_layer() { return l4span_.get(); }
+    const stats::sample_set& rlc_queue_sdus(ran::rnti_t ue) const;
+    const stats::value_series& rlc_queue_series(ran::rnti_t ue) const;
+    const std::vector<std::pair<sim::tick, std::uint32_t>>& tx_log(ran::rnti_t ue) const;
+    double mean_queuing_ms() const;
+    double mean_scheduling_ms() const;
+
+private:
+    struct ue_rec {
+        ran::rnti_t rnti = 0;
+        ran::drb_id_t default_drb = 0;
+        ran::drb_id_t classic_drb = 0;
+        int next_qfi = 1;
+        bool attached = true;
+        stats::sample_set rlc_samples;
+        stats::value_series rlc_series{sim::from_ms(100)};
+        std::vector<std::pair<sim::tick, std::uint32_t>> tx_log;
+    };
+
+    ue_rec& rec(ran::rnti_t ue);
+    const ue_rec& rec(ran::rnti_t ue) const;
+    void schedule_sampling();
+
+    sim::event_loop& loop_;
+    cell_spec spec_;
+    int index_;
+    sim::rng rng_;
+    std::unique_ptr<ran::gnb> gnb_;
+    std::unique_ptr<core::l4span> l4span_;
+    std::unique_ptr<dualpi2_ran_hook> dualpi2_;
+    std::unique_ptr<tc_ran> tcran_;
+    ran::cu_hook* hook_ = nullptr;
+
+    std::vector<std::unique_ptr<ue_rec>> ues_;  // includes detached tombstones
+    std::unordered_map<ran::rnti_t, ue_rec*> by_rnti_;
+
+    double queuing_sum_ms_ = 0.0;
+    double sched_sum_ms_ = 0.0;
+    std::uint64_t delay_reports_ = 0;
+    bool started_ = false;
+};
+
+}  // namespace l4span::scenario

@@ -4,109 +4,23 @@
 
 namespace l4span::scenario {
 
-namespace {
-constexpr sim::tick k_sample_period = sim::from_ms(10);
-
-bool is_l4s_cca(const std::string& cca)
+cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
 {
-    return cca == "prague" || cca == "bbr2" || cca == "scream" || cca == "udp-prague";
-}
+    cell_ = std::make_unique<scenario::cell>(loop_, spec_);
 
-bool is_media_cca(const std::string& cca)
-{
-    return cca == "scream" || cca == "udp-prague";
-}
-}  // namespace
-
-chan::channel_profile channel_by_name(const std::string& name, std::uint64_t variant)
-{
-    chan::channel_profile p;
-    if (name == "static") p = chan::channel_profile::static_channel();
-    else if (name == "pedestrian") p = chan::channel_profile::pedestrian();
-    else if (name == "vehicular") p = chan::channel_profile::vehicular();
-    else if (name == "mobile") {
-        // "Mobile" combines pedestrian- and vehicular-speed channels (§6.2.1):
-        // alternate per UE.
-        p = (variant % 2 == 0) ? chan::channel_profile::pedestrian()
-                               : chan::channel_profile::vehicular();
-        p.name = "mobile";
-    } else {
-        throw std::invalid_argument("unknown channel profile: " + name);
-    }
-    return p;
-}
-
-cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec)), rng_(spec_.seed)
-{
-    ran::gnb_config gcfg;
-    gcfg.mac.policy = spec_.sched;
-    gnb_ = std::make_unique<ran::gnb>(loop_, gcfg, rng_.fork());
-
-    switch (spec_.cu) {
-    case cu_mode::l4span: {
-        auto cfg = spec_.l4s;
-        cfg.seed = rng_.fork().engine()();
-        l4span_ = std::make_unique<core::l4span>(cfg);
-        gnb_->set_cu_hook(l4span_.get());
-        break;
-    }
-    case cu_mode::dualpi2_ran:
-        dualpi2_ = std::make_unique<dualpi2_ran_hook>(spec_.dualpi2);
-        gnb_->set_cu_hook(dualpi2_.get());
-        break;
-    case cu_mode::tcran:
-        tcran_ = std::make_unique<tc_ran>(loop_, *gnb_, spec_.tcran);
-        break;
-    case cu_mode::none: break;
-    }
-
-    ran::rlc_config rlc;
-    rlc.mode = spec_.rlc_mode;
-    rlc.max_queue_sdus = spec_.rlc_queue_sdus;
-
-    for (int u = 0; u < spec_.num_ues; ++u) {
-        const auto profile = channel_by_name(spec_.channel, static_cast<std::uint64_t>(u));
-        const ran::rnti_t rnti = gnb_->add_ue(profile);
-        rntis_.push_back(rnti);
-        default_drb_.push_back(gnb_->add_drb(rnti, rlc));
-        classic_drb_.push_back(spec_.separate_drbs_per_class ? gnb_->add_drb(rnti, rlc)
-                                                             : default_drb_.back());
-        next_qfi_.push_back(1);
-    }
-    rlc_samples_.resize(static_cast<std::size_t>(spec_.num_ues));
-    rlc_series_.assign(static_cast<std::size_t>(spec_.num_ues),
-                       stats::value_series(sim::from_ms(100)));
-    tx_logs_.resize(static_cast<std::size_t>(spec_.num_ues));
-
-    gnb_->set_delay_handler([this](const ran::sdu_delay_report& r) {
-        queuing_sum_ms_ += sim::to_ms(r.queuing);
-        sched_sum_ms_ += sim::to_ms(r.scheduling);
-        ++delay_reports_;
-    });
-    gnb_->set_txlog_handler(
-        [this](ran::rnti_t ue, ran::drb_id_t, std::uint32_t bytes, sim::tick now) {
-            const std::size_t idx = static_cast<std::size_t>(ue - 1);
-            if (idx < tx_logs_.size()) tx_logs_[idx].emplace_back(now, bytes);
-        });
-
-    gnb_->set_deliver_handler(
+    cell_->set_deliver_handler(
         [this](ran::rnti_t, ran::drb_id_t, net::packet pkt, sim::tick) {
             const std::size_t f = pkt.flow_id;
             if (f >= flows_.size()) return;
-            flow_rt& flow = *flows_[f];
-            if (flow.is_media) flow.mrcv->on_packet(pkt);
-            else flow.rcv->on_packet(pkt);
+            flows_[f]->ep.on_downlink(pkt);
         });
 
-    gnb_->set_uplink_handler([this](ran::rnti_t, net::packet pkt, sim::tick) {
+    cell_->set_uplink_handler([this](ran::rnti_t, net::packet pkt, sim::tick) {
         const std::size_t f = pkt.flow_id;
         if (f >= flows_.size()) return;
-        flow_rt& flow = *flows_[f];
         // Reverse wired path back to the server.
-        loop_.schedule_after(flow.wired_owd, [this, f, pkt = std::move(pkt)] {
-            flow_rt& fl = *flows_[f];
-            if (fl.is_media) fl.msnd->on_packet(pkt);
-            else fl.snd->on_packet(pkt);
+        loop_.schedule_after(flows_[f]->wired_owd, [this, f, pkt = std::move(pkt)] {
+            flows_[f]->ep.on_uplink(pkt);
         });
     });
 
@@ -117,7 +31,8 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec)), rng_(spec
         bottleneck_->set_deliver([this](net::packet pkt) {
             const std::size_t f = pkt.flow_id;
             if (f >= flows_.size()) return;
-            route_downlink(std::move(pkt), *flows_[f]);
+            flow_rt& flow = *flows_[f];
+            cell_->deliver_downlink(std::move(pkt), flow.rnti, flow.qfi);
         });
         for (const auto& [when, bps] : spec_.bottleneck_schedule)
             loop_.schedule_at(when, [this, bps = bps] { bottleneck_->set_rate(bps); });
@@ -126,38 +41,23 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec)), rng_(spec
 
 cell_scenario::~cell_scenario() = default;
 
-void cell_scenario::route_downlink(net::packet pkt, flow_rt& f)
+ran::rnti_t cell_scenario::rnti_at(int ue) const
 {
-    // 5G core hop, then the CU (TC-RAN intercepts at the CU ingress).
-    if (tcran_) tcran_->deliver_downlink(std::move(pkt), f.rnti, f.qfi);
-    else gnb_->deliver_downlink(std::move(pkt), f.rnti, f.qfi);
+    if (ue < 0 || ue >= spec_.num_ues)
+        throw std::out_of_range("cell_scenario: UE index out of range");
+    return cell_->rnti_of(static_cast<std::size_t>(ue));
 }
 
 int cell_scenario::add_flow(flow_spec fspec)
 {
-    if (fspec.ue < 0 || fspec.ue >= spec_.num_ues)
-        throw std::out_of_range("flow attached to unknown UE");
+    const ran::rnti_t rnti = rnti_at(fspec.ue);  // validates the UE index
     const int handle = static_cast<int>(flows_.size());
     auto f = std::make_unique<flow_rt>();
     f->spec = fspec;
-    f->rnti = rntis_[static_cast<std::size_t>(fspec.ue)];
-    f->is_media = is_media_cca(fspec.cca);
+    f->rnti = rnti;
     f->wired_owd = sim::from_ms(fspec.wired_owd_ms);
-    f->qfi = static_cast<ran::qfi_t>(next_qfi_[static_cast<std::size_t>(fspec.ue)]++);
-
-    // Route the flow's QFI to the right DRB (class-separated when enabled).
-    const ran::drb_id_t drb = is_l4s_cca(fspec.cca)
-                                  ? default_drb_[static_cast<std::size_t>(fspec.ue)]
-                                  : classic_drb_[static_cast<std::size_t>(fspec.ue)];
-    gnb_->map_qos_flow(f->rnti, f->qfi, drb);
-
-    // Synthetic five-tuple: unique server per flow.
-    net::five_tuple ft;
-    ft.src_ip = 0x0a000001u + static_cast<std::uint32_t>(handle);  // 10.0.0.x server
-    ft.dst_ip = 0xc0a80001u + static_cast<std::uint32_t>(fspec.ue);
-    ft.src_port = 443;
-    ft.dst_port = static_cast<std::uint16_t>(50000 + handle);
-    ft.proto = f->is_media ? net::ip_proto::udp : net::ip_proto::tcp;
+    f->qfi = cell_->alloc_qfi(rnti);
+    cell_->map_qos_flow(rnti, f->qfi, is_l4s_cca(fspec.cca));
 
     auto dl_send = [this, handle](net::packet pkt) {
         pkt.flow_id = static_cast<std::uint64_t>(handle);
@@ -166,149 +66,102 @@ int cell_scenario::add_flow(flow_spec fspec)
                              [this, handle, pkt = std::move(pkt)]() mutable {
                                  flow_rt& f2 = *flows_[static_cast<std::size_t>(handle)];
                                  if (bottleneck_) bottleneck_->send(std::move(pkt));
-                                 else route_downlink(std::move(pkt), f2);
+                                 else cell_->deliver_downlink(std::move(pkt), f2.rnti,
+                                                              f2.qfi);
                              });
     };
     auto ul_send = [this, handle](net::packet pkt) {
         pkt.flow_id = static_cast<std::uint64_t>(handle);
-        gnb_->send_uplink(flows_[static_cast<std::size_t>(handle)]->rnti, std::move(pkt));
+        cell_->send_uplink(flows_[static_cast<std::size_t>(handle)]->rnti,
+                           std::move(pkt));
     };
 
-    if (f->is_media) {
-        media::media_config mcfg;
-        mcfg.ft = ft;
-        mcfg.flow_id = static_cast<std::uint64_t>(handle);
-        mcfg.max_rate_bps = fspec.media_max_bps;
-        mcfg.start_rate_bps = fspec.media_start_bps;
-        auto rc = fspec.cca == "scream" ? media::make_scream(mcfg)
-                                        : media::make_udp_prague(mcfg);
-        f->msnd = std::make_unique<media::media_sender>(loop_, mcfg, std::move(rc), dl_send);
-        f->mrcv = std::make_unique<media::media_receiver>(loop_, mcfg, ul_send);
-        media::media_sender* snd = f->msnd.get();
-        loop_.schedule_at(fspec.start_time, [snd] { snd->start(); });
-        if (fspec.stop_time >= 0)
-            loop_.schedule_at(fspec.stop_time, [snd] { snd->stop(); });
-    } else {
-        transport::tcp_config tcfg;
-        tcfg.mss = fspec.mss;
-        tcfg.max_cwnd = fspec.max_cwnd;
-        tcfg.flow_bytes = fspec.flow_bytes;
-        tcfg.ft = ft;
-        tcfg.flow_id = static_cast<std::uint64_t>(handle);
-        auto cc = transport::make_cc(fspec.cca, fspec.mss);
-        const bool accecn = cc->uses_accecn();
-        f->snd = std::make_unique<transport::tcp_sender>(loop_, tcfg, std::move(cc), dl_send);
-        f->rcv = std::make_unique<transport::tcp_receiver>(loop_, tcfg, accecn, ul_send);
-        transport::tcp_sender* snd = f->snd.get();
-        loop_.schedule_at(fspec.start_time, [snd] { snd->start(); });
-        if (fspec.stop_time >= 0)
-            loop_.schedule_at(fspec.stop_time, [snd] { snd->stop(); });
-    }
-
+    f->ep = make_flow_endpoints(loop_, fspec, handle, fspec.ue, std::move(dl_send),
+                                std::move(ul_send));
     flows_.push_back(std::move(f));
     return handle;
-}
-
-void cell_scenario::start_sampling()
-{
-    loop_.schedule_after(k_sample_period, [this] {
-        for (int u = 0; u < spec_.num_ues; ++u) {
-            const auto sdus = static_cast<double>(
-                gnb_->rlc(rntis_[static_cast<std::size_t>(u)],
-                          default_drb_[static_cast<std::size_t>(u)])
-                    .queued_sdus());
-            rlc_samples_[static_cast<std::size_t>(u)].add(sdus);
-            rlc_series_[static_cast<std::size_t>(u)].add(loop_.now(), sdus);
-        }
-        start_sampling();
-    });
 }
 
 void cell_scenario::run(sim::tick duration)
 {
     duration_ = duration;
-    gnb_->start();
-    start_sampling();
+    cell_->start();
     loop_.run_until(duration);
+}
+
+cell_scenario::flow_rt& cell_scenario::flow_at(int flow) const
+{
+    if (flow < 0 || static_cast<std::size_t>(flow) >= flows_.size())
+        throw std::out_of_range("cell_scenario: flow handle out of range");
+    return *flows_[static_cast<std::size_t>(flow)];
 }
 
 const stats::sample_set& cell_scenario::owd_ms(int flow) const
 {
-    const flow_rt& f = *flows_.at(static_cast<std::size_t>(flow));
-    return f.is_media ? f.mrcv->owd_samples() : f.rcv->owd_samples();
+    return flow_at(flow).ep.owd_samples();
 }
 
 const stats::sample_set& cell_scenario::rtt_ms(int flow) const
 {
-    const flow_rt& f = *flows_.at(static_cast<std::size_t>(flow));
-    return f.is_media ? f.msnd->rtt_samples() : f.snd->rtt_samples();
+    return flow_at(flow).ep.rtt_samples();
 }
 
 std::uint64_t cell_scenario::delivered_bytes(int flow) const
 {
-    const flow_rt& f = *flows_.at(static_cast<std::size_t>(flow));
-    return f.is_media ? static_cast<std::uint64_t>(f.mrcv->goodput().total_bytes())
-                      : f.rcv->received_bytes();
+    return flow_at(flow).ep.delivered_bytes();
 }
 
 double cell_scenario::goodput_mbps(int flow) const
 {
-    const flow_rt& f = *flows_.at(static_cast<std::size_t>(flow));
-    sim::tick end = f.spec.stop_time >= 0 ? f.spec.stop_time : duration_;
-    if (!f.is_media && f.snd->finished()) end = f.snd->finish_time();
-    const sim::tick active = end - f.spec.start_time;
-    if (active <= 0) return 0.0;
-    return static_cast<double>(delivered_bytes(flow)) * 8.0 / sim::to_sec(active) / 1e6;
+    const flow_rt& f = flow_at(flow);
+    return flow_goodput_mbps(f.spec, f.ep, duration_);
 }
 
 const stats::rate_series& cell_scenario::goodput_series(int flow) const
 {
-    const flow_rt& f = *flows_.at(static_cast<std::size_t>(flow));
-    return f.is_media ? f.mrcv->goodput() : f.rcv->goodput();
+    return flow_at(flow).ep.goodput();
 }
 
 std::uint64_t cell_scenario::flow_cwnd(int flow) const
 {
-    const flow_rt& f = *flows_.at(static_cast<std::size_t>(flow));
-    return f.is_media ? 0 : f.snd->cwnd_bytes();
+    return flow_at(flow).ep.cwnd_bytes();
 }
 
 const transport::tcp_sender* cell_scenario::tcp_flow(int flow) const
 {
-    const flow_rt& f = *flows_.at(static_cast<std::size_t>(flow));
-    return f.is_media ? nullptr : f.snd.get();
+    return flow_at(flow).ep.snd.get();
 }
 
 double cell_scenario::fct_ms(int flow) const
 {
-    const flow_rt& f = *flows_.at(static_cast<std::size_t>(flow));
-    if (f.is_media || !f.snd->finished()) return -1.0;
-    return sim::to_ms(f.snd->finish_time() - f.spec.start_time);
+    const flow_rt& f = flow_at(flow);
+    if (!f.ep.tcp_finished()) return -1.0;
+    return sim::to_ms(f.ep.tcp_finish_time() - f.spec.start_time);
 }
 
 const stats::sample_set& cell_scenario::rlc_queue_sdus(int ue) const
 {
-    return rlc_samples_.at(static_cast<std::size_t>(ue));
+    return cell_->rlc_queue_sdus(rnti_at(ue));
 }
 
 const stats::value_series& cell_scenario::rlc_queue_series(int ue) const
 {
-    return rlc_series_.at(static_cast<std::size_t>(ue));
+    return cell_->rlc_queue_series(rnti_at(ue));
 }
 
 double cell_scenario::mean_queuing_ms() const
 {
-    return delay_reports_ ? queuing_sum_ms_ / static_cast<double>(delay_reports_) : 0.0;
+    return cell_->mean_queuing_ms();
 }
 
 double cell_scenario::mean_scheduling_ms() const
 {
-    return delay_reports_ ? sched_sum_ms_ / static_cast<double>(delay_reports_) : 0.0;
+    return cell_->mean_scheduling_ms();
 }
 
 const std::vector<std::pair<sim::tick, std::uint32_t>>& cell_scenario::tx_log(int ue) const
 {
-    return tx_logs_.at(static_cast<std::size_t>(ue));
+    return cell_->tx_log(rnti_at(ue));
 }
 
 }  // namespace l4span::scenario

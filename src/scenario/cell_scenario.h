@@ -1,66 +1,24 @@
-// End-to-end experiment harness: builds a cell (gNB + UEs + channels),
-// attaches TCP or media flows with per-flow wired server paths, runs the
-// simulation and collects the metrics the paper's figures report.
+// End-to-end single-cell experiment harness: builds one scenario::cell on a
+// private event loop, attaches TCP or media flows with per-flow wired server
+// paths, runs the simulation and collects the metrics the paper's figures
+// report.
 //
-// Every bench binary and example is a thin wrapper over this class.
+// Every bench binary and example is a thin wrapper over this class; the
+// cell wiring itself lives in scenario::cell so the multi-cell topology
+// layer reuses it unchanged.
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "core/l4span.h"
-#include "media/media.h"
-#include "ran/gnb.h"
-#include "scenario/baselines.h"
+#include "scenario/cell.h"
 #include "sim/event_loop.h"
 #include "stats/sample_set.h"
 #include "stats/timeseries.h"
 #include "topo/wired_link.h"
-#include "transport/tcp.h"
 
 namespace l4span::scenario {
-
-enum class cu_mode : std::uint8_t {
-    none,         // vanilla RAN: deep RLC queue, no signaling (the status quo)
-    l4span,       // the paper's system
-    dualpi2_ran,  // §6.3.1 microbenchmark baseline
-    tcran,        // §6.2.2 comparison baseline
-};
-
-struct cell_spec {
-    int num_ues = 1;
-    std::string channel = "static";  // static | pedestrian | vehicular | mobile
-    std::size_t rlc_queue_sdus = 16384;  // srsRAN default; the paper also uses 256
-    ran::rlc_mode rlc_mode = ran::rlc_mode::am;
-    ran::sched_policy sched = ran::sched_policy::round_robin;
-    cu_mode cu = cu_mode::l4span;
-    core::l4span_config l4s;
-    tc_ran::config tcran;
-    dualpi2_ran_hook::config dualpi2;
-    std::uint64_t seed = 1;
-    // Put L4S and classic flows of one UE on separate DRBs (§4.2.3 default
-    // deployment; false models the low-end shared-DRB UE of §6.2.6).
-    bool separate_drbs_per_class = false;
-    // Optional shared wired bottleneck on the forward path (Fig. 2): rate
-    // changes according to `bottleneck_schedule` (time, bps).
-    double bottleneck_bps = 0.0;
-    std::vector<std::pair<sim::tick, double>> bottleneck_schedule;
-};
-
-struct flow_spec {
-    std::string cca = "prague";  // reno|cubic|prague|bbr|bbr2|scream|udp-prague
-    int ue = 0;                  // UE index (0-based)
-    sim::tick start_time = 0;
-    sim::tick stop_time = -1;            // long-lived flows run to scenario end
-    std::uint64_t flow_bytes = 0;        // >0: short-lived flow, measures FCT
-    double wired_owd_ms = 19.0;          // one-way server->core ("east" Azure)
-    std::uint32_t mss = 1400;
-    std::uint64_t max_cwnd = 4ull << 20;
-    double media_max_bps = 38e6;
-    double media_start_bps = 1e6;
-};
 
 class cell_scenario {
 public:
@@ -72,7 +30,8 @@ public:
 
     void run(sim::tick duration);
 
-    // --- per-flow results ---
+    // --- per-flow results (handles are bounds-checked: a bad handle throws
+    // std::out_of_range instead of reading a stale or foreign flow) ---
     const stats::sample_set& owd_ms(int flow) const;       // one-way delay
     const stats::sample_set& rtt_ms(int flow) const;       // sender RTT samples
     double goodput_mbps(int flow) const;                   // over active period
@@ -87,8 +46,9 @@ public:
     const stats::value_series& rlc_queue_series(int ue) const;
     double mean_queuing_ms() const;
     double mean_scheduling_ms() const;
-    core::l4span* l4span_layer() { return l4span_.get(); }
-    ran::gnb& gnb() { return *gnb_; }
+    core::l4span* l4span_layer() { return cell_->l4span_layer(); }
+    ran::gnb& gnb() { return cell_->gnb(); }
+    scenario::cell& cell() { return *cell_; }
     sim::event_loop& loop() { return loop_; }
     // Ground-truth MAC transmissions, (time, bytes), per UE index (Fig. 20).
     const std::vector<std::pair<sim::tick, std::uint32_t>>& tx_log(int ue) const;
@@ -99,44 +59,19 @@ private:
         flow_spec spec;
         ran::rnti_t rnti = 0;
         ran::qfi_t qfi = 0;
-        bool is_media = false;
-        std::unique_ptr<transport::tcp_sender> snd;
-        std::unique_ptr<transport::tcp_receiver> rcv;
-        std::unique_ptr<media::media_sender> msnd;
-        std::unique_ptr<media::media_receiver> mrcv;
         sim::tick wired_owd = 0;
-        sim::tick active_until = 0;
+        flow_endpoints ep;
     };
 
-    void route_downlink(net::packet pkt, flow_rt& f);
-    void start_sampling();
+    flow_rt& flow_at(int flow) const;
+    ran::rnti_t rnti_at(int ue) const;
 
     cell_spec spec_;
     sim::event_loop loop_;
-    sim::rng rng_;
-    std::unique_ptr<ran::gnb> gnb_;
-    std::unique_ptr<core::l4span> l4span_;
-    std::unique_ptr<dualpi2_ran_hook> dualpi2_;
-    std::unique_ptr<tc_ran> tcran_;
+    std::unique_ptr<scenario::cell> cell_;
     std::unique_ptr<topo::wired_link> bottleneck_;
-
-    std::vector<ran::rnti_t> rntis_;
-    std::vector<ran::drb_id_t> default_drb_;   // per UE
-    std::vector<ran::drb_id_t> classic_drb_;   // per UE (when separated)
-    std::vector<int> next_qfi_;
-
     std::vector<std::unique_ptr<flow_rt>> flows_;
-    std::vector<stats::sample_set> rlc_samples_;
-    std::vector<stats::value_series> rlc_series_;
-    std::vector<std::vector<std::pair<sim::tick, std::uint32_t>>> tx_logs_;
-
-    double queuing_sum_ms_ = 0.0;
-    double sched_sum_ms_ = 0.0;
-    std::uint64_t delay_reports_ = 0;
     sim::tick duration_ = 0;
 };
-
-// Maps the paper's channel labels to profiles.
-chan::channel_profile channel_by_name(const std::string& name, std::uint64_t variant = 0);
 
 }  // namespace l4span::scenario

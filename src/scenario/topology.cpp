@@ -1,0 +1,309 @@
+#include "scenario/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace l4span::scenario {
+
+namespace {
+// Largest multiple of the MAC slot that does not exceed `latency` — the
+// "synchronized at slot boundaries" contract of the sharded mode.
+sim::tick slot_aligned(sim::tick latency, sim::tick slot)
+{
+    return (latency / slot) * slot;
+}
+}  // namespace
+
+topology::topology(topology_spec spec) : spec_(std::move(spec))
+{
+    if (spec_.num_cells < 1) throw std::invalid_argument("topology: need >= 1 cell");
+    if (spec_.ues_per_cell < 1)
+        throw std::invalid_argument("topology: need >= 1 UE per cell");
+
+    const sim::tick slot = ran::mac_config{}.slot;
+    const sim::tick min_latency = std::min(
+        {spec_.core_hop_latency, spec_.ue_stack_latency, spec_.x2_latency});
+    if (slot_aligned(min_latency, slot) < slot)
+        throw std::invalid_argument(
+            "topology: every cross-shard latency must be >= one MAC slot");
+    // The X2 context transfer must not outrun in-flight downlink/uplink
+    // packets, or data already heading to the source cell would be lost.
+    if (spec_.x2_latency < spec_.core_hop_latency ||
+        spec_.x2_latency < spec_.ue_stack_latency)
+        throw std::invalid_argument(
+            "topology: x2_latency must be >= core_hop and ue_stack latencies");
+
+    shards_ = std::make_unique<sim::shard_group>(
+        static_cast<std::size_t>(spec_.num_cells), slot_aligned(min_latency, slot),
+        spec_.jobs);
+
+    for (int c = 0; c < spec_.num_cells; ++c) {
+        cell_spec cs = spec_.cell;
+        cs.num_ues = spec_.ues_per_cell;
+        cs.seed = spec_.cell.seed + 7919u * static_cast<std::uint64_t>(c);
+        cells_.push_back(std::make_unique<scenario::cell>(
+            shards_->loop(static_cast<std::size_t>(c)), std::move(cs), c));
+    }
+
+    for (int c = 0; c < spec_.num_cells; ++c) {
+        for (int u = 0; u < spec_.ues_per_cell; ++u) {
+            auto e = std::make_unique<ue_entry>();
+            e->home = c;
+            e->serving = c;
+            e->rnti = cells_[static_cast<std::size_t>(c)]->rnti_of(
+                static_cast<std::size_t>(u));
+            ues_.push_back(std::move(e));
+        }
+    }
+
+    for (int c = 0; c < spec_.num_cells; ++c) {
+        scenario::cell* cp = cells_[static_cast<std::size_t>(c)].get();
+        // Runs on cell c's shard; forwards to the flow's home shard. flows_
+        // is immutable during the run, so the cross-thread read is safe.
+        cp->set_deliver_handler(
+            [this](ran::rnti_t, ran::drb_id_t, net::packet pkt, sim::tick now) {
+                const std::size_t f = pkt.flow_id;
+                if (f >= flows_.size()) return;
+                shards_->post(static_cast<std::size_t>(flows_[f]->home),
+                              now + spec_.ue_stack_latency,
+                              [this, f, pkt = std::move(pkt)] {
+                                  flows_[f]->ep.on_downlink(pkt);
+                              });
+            });
+        cp->set_uplink_handler([this](ran::rnti_t, net::packet pkt, sim::tick now) {
+            const std::size_t f = pkt.flow_id;
+            if (f >= flows_.size()) return;
+            shards_->post(static_cast<std::size_t>(flows_[f]->home),
+                          now + flows_[f]->wired_owd,
+                          [this, f, pkt = std::move(pkt)] { flows_[f]->ep.on_uplink(pkt); });
+        });
+    }
+}
+
+topology::~topology() = default;
+
+int topology::add_flow(flow_spec fspec)
+{
+    if (ran_) throw std::logic_error("topology: add_flow after run");
+    if (fspec.ue < 0 || static_cast<std::size_t>(fspec.ue) >= ues_.size())
+        throw std::out_of_range("topology: flow attached to unknown UE");
+    const sim::tick owd = sim::from_ms(fspec.wired_owd_ms);
+    if (owd < shards_->quantum())
+        throw std::invalid_argument(
+            "topology: flow wired_owd must be >= the shard sync quantum");
+
+    const int handle = static_cast<int>(flows_.size());
+    ue_entry& u = *ues_[static_cast<std::size_t>(fspec.ue)];
+    auto f = std::make_unique<flow_rt>();
+    f->spec = fspec;
+    f->home = u.home;
+    f->wired_owd = owd;
+    scenario::cell& home_cell = *cells_[static_cast<std::size_t>(u.home)];
+    f->qfi = home_cell.alloc_qfi(u.rnti);
+    home_cell.map_qos_flow(u.rnti, f->qfi, is_l4s_cca(fspec.cca));
+
+    auto dl_send = [this, handle](net::packet pkt) {
+        // Runs on the home shard (the sender lives there).
+        pkt.flow_id = static_cast<std::uint64_t>(handle);
+        flow_rt& fl = *flows_[static_cast<std::size_t>(handle)];
+        shards_->loop(static_cast<std::size_t>(fl.home))
+            .schedule_after(fl.wired_owd, [this, handle, pkt = std::move(pkt)]() mutable {
+                route_downlink(static_cast<std::size_t>(handle), std::move(pkt));
+            });
+    };
+    auto ul_send = [this, handle](net::packet pkt) {
+        pkt.flow_id = static_cast<std::uint64_t>(handle);
+        route_uplink(static_cast<std::size_t>(handle), std::move(pkt));
+    };
+
+    f->ep = make_flow_endpoints(shards_->loop(static_cast<std::size_t>(u.home)), fspec,
+                                handle, fspec.ue, std::move(dl_send), std::move(ul_send));
+    flows_.push_back(std::move(f));
+    return handle;
+}
+
+void topology::route_downlink(std::size_t flow, net::packet pkt)
+{
+    flow_rt& f = *flows_[flow];
+    ue_entry& u = *ues_[static_cast<std::size_t>(f.spec.ue)];
+    if (!u.attached) {
+        u.held_dl.push_back(std::move(pkt));  // UPF holds until path switch
+        return;
+    }
+    scenario::cell* c = cells_[static_cast<std::size_t>(u.serving)].get();
+    const ran::rnti_t rnti = u.rnti;
+    const ran::qfi_t qfi = f.qfi;
+    const sim::tick now = shards_->loop(static_cast<std::size_t>(u.home)).now();
+    shards_->post(static_cast<std::size_t>(u.serving), now + spec_.core_hop_latency,
+                  [c, rnti, qfi, pkt = std::move(pkt)]() mutable {
+                      // The UE may have detached while this hop was in
+                      // flight (cannot happen while x2 >= core_hop, but
+                      // stay safe): the packet is lost, like a late X2
+                      // forward in a real deployment.
+                      if (c->has_ue(rnti)) c->deliver_downlink(std::move(pkt), rnti, qfi);
+                  });
+}
+
+void topology::route_uplink(std::size_t flow, net::packet pkt)
+{
+    flow_rt& f = *flows_[flow];
+    ue_entry& u = *ues_[static_cast<std::size_t>(f.spec.ue)];
+    if (!u.attached) {
+        u.held_ul.push_back(std::move(pkt));  // UE stack holds until path switch
+        return;
+    }
+    scenario::cell* c = cells_[static_cast<std::size_t>(u.serving)].get();
+    const ran::rnti_t rnti = u.rnti;
+    const sim::tick now = shards_->loop(static_cast<std::size_t>(u.home)).now();
+    shards_->post(static_cast<std::size_t>(u.serving), now + spec_.ue_stack_latency,
+                  [c, rnti, pkt = std::move(pkt)]() mutable {
+                      if (c->has_ue(rnti)) c->send_uplink(rnti, std::move(pkt));
+                  });
+}
+
+void topology::schedule_handover(sim::tick when, int ue, int target_cell)
+{
+    if (ran_) throw std::logic_error("topology: schedule_handover after run");
+    if (ue < 0 || static_cast<std::size_t>(ue) >= ues_.size())
+        throw std::out_of_range("topology: handover for unknown UE");
+    if (target_cell < 0 || target_cell >= num_cells())
+        throw std::out_of_range("topology: handover to unknown cell");
+    const std::size_t home = static_cast<std::size_t>(ues_[static_cast<std::size_t>(ue)]->home);
+    shards_->loop(home).schedule_at(
+        when, [this, ue, target_cell] { begin_handover(ue, target_cell); });
+}
+
+void topology::apply(const std::vector<topo::handover_event>& plan)
+{
+    for (const auto& ev : plan) schedule_handover(ev.when, ev.ue, ev.target_cell);
+}
+
+void topology::begin_handover(int ue, int target)
+{
+    ue_entry& u = *ues_[static_cast<std::size_t>(ue)];
+    if (!u.attached || target == u.serving) return;  // mid-handover or no-op
+    ++ho_started_;
+    u.attached = false;
+    scenario::cell* src = cells_[static_cast<std::size_t>(u.serving)].get();
+    scenario::cell* tgt = cells_[static_cast<std::size_t>(target)].get();
+    const ran::rnti_t rnti = u.rnti;
+    const std::size_t src_shard = static_cast<std::size_t>(u.serving);
+    const std::size_t tgt_shard = static_cast<std::size_t>(target);
+    const std::size_t home_shard = static_cast<std::size_t>(u.home);
+    const sim::tick now = shards_->loop(home_shard).now();
+
+    // Leg 1 — handover command reaches the source cell, which exports the
+    // UE context (SN status transfer + data forwarding + hook state). By
+    // then every in-flight downlink/uplink packet for the UE has landed
+    // (x2 >= core_hop/ue_stack), so the context captures all of them.
+    shards_->post(src_shard, now + spec_.x2_latency, [this, ue, src, tgt, tgt_shard,
+                                                      home_shard, rnti, target] {
+        auto ctx = src->detach_ue(rnti);
+        const sim::tick t1 = src->loop().now();
+        // Leg 2 — context transfer to the target cell, which admits the UE
+        // under a fresh RNTI and resumes the bearers.
+        shards_->post(tgt_shard, t1 + spec_.x2_latency,
+                      [this, ue, tgt, home_shard, target, ctx = std::move(ctx)]() mutable {
+                          const ran::rnti_t new_rnti = tgt->attach_ue(std::move(ctx));
+                          const sim::tick t2 = tgt->loop().now();
+                          // Leg 3 — path switch back to the UPF/home shard.
+                          shards_->post(home_shard, t2 + spec_.x2_latency,
+                                        [this, ue, target, new_rnti] {
+                                            finish_handover(ue, target, new_rnti);
+                                        });
+                      });
+    });
+}
+
+void topology::finish_handover(int ue, int target, ran::rnti_t new_rnti)
+{
+    ue_entry& u = *ues_[static_cast<std::size_t>(ue)];
+    u.serving = target;
+    u.rnti = new_rnti;
+    u.attached = true;
+    ++ho_completed_;
+    // Flush held packets in arrival order down the normal paths.
+    auto dl = std::move(u.held_dl);
+    u.held_dl.clear();
+    for (auto& pkt : dl) {
+        const std::size_t f = pkt.flow_id;
+        route_downlink(f, std::move(pkt));
+    }
+    auto ul = std::move(u.held_ul);
+    u.held_ul.clear();
+    for (auto& pkt : ul) {
+        const std::size_t f = pkt.flow_id;
+        route_uplink(f, std::move(pkt));
+    }
+}
+
+void topology::run(sim::tick duration)
+{
+    duration_ = duration;
+    ran_ = true;
+    for (auto& c : cells_) c->start();
+    shards_->run_until(duration);
+}
+
+topology::flow_rt& topology::flow_at(int flow) const
+{
+    if (flow < 0 || static_cast<std::size_t>(flow) >= flows_.size())
+        throw std::out_of_range("topology: flow handle out of range");
+    return *flows_[static_cast<std::size_t>(flow)];
+}
+
+const topology::ue_entry& topology::ue_at(int ue) const
+{
+    if (ue < 0 || static_cast<std::size_t>(ue) >= ues_.size())
+        throw std::out_of_range("topology: UE index out of range");
+    return *ues_[static_cast<std::size_t>(ue)];
+}
+
+const stats::sample_set& topology::owd_ms(int flow) const
+{
+    return flow_at(flow).ep.owd_samples();
+}
+
+const stats::sample_set& topology::rtt_ms(int flow) const
+{
+    return flow_at(flow).ep.rtt_samples();
+}
+
+const stats::rate_series& topology::goodput_series(int flow) const
+{
+    return flow_at(flow).ep.goodput();
+}
+
+double topology::goodput_mbps(int flow) const
+{
+    const flow_rt& f = flow_at(flow);
+    return flow_goodput_mbps(f.spec, f.ep, duration_);
+}
+
+std::uint64_t topology::delivered_bytes(int flow) const
+{
+    return flow_at(flow).ep.delivered_bytes();
+}
+
+std::uint64_t topology::flow_retransmits(int flow) const
+{
+    const flow_rt& f = flow_at(flow);
+    return f.ep.is_media ? 0 : f.ep.snd->retransmits();
+}
+
+int topology::home_cell(int ue) const
+{
+    return ue_at(ue).home;
+}
+
+int topology::serving_cell(int ue) const
+{
+    return ue_at(ue).serving;
+}
+
+ran::rnti_t topology::ue_rnti(int ue) const
+{
+    return ue_at(ue).rnti;
+}
+
+}  // namespace l4span::scenario

@@ -1,0 +1,128 @@
+// Multi-cell experiment harness: N scenario::cells, one per shard of a
+// sim::shard_group, joined by a shared core/UPF routing stage, with X2/Xn
+// handovers driven by a topo::mobility_model plan (or scheduled directly).
+//
+// Placement model
+// ---------------
+// Every UE has an immutable *home shard* — the shard of its initial cell —
+// where its whole endpoint chain lives for the run: server-side sender,
+// wired path, and UE receiver, plus the UPF routing entry. The *serving
+// cell* (gNB actually carrying the bearers) starts out as the home cell and
+// changes at handover. All routing decisions for a UE execute on its home
+// shard, so no per-UE state is ever touched from two shards.
+//
+// Cross-shard hops and their latencies (each must be >= the sync quantum,
+// which the constructor derives as the largest slot-aligned value not
+// exceeding any of them):
+//   downlink  sender --wired_owd--> UPF --core_hop--> serving gNB
+//   delivery  serving gNB RLC --ue_stack--> receiver (modem -> app hop)
+//   uplink    receiver --ue_stack--> serving gNB --wired_owd--> sender
+//   handover  home --x2--> source (detach) --x2--> target (attach)
+//                  --x2--> home (path switch)
+// During the handover (3 x2 legs of interruption), downlink and uplink
+// packets are held at the UPF / UE stack and flushed in order on path
+// switch; in-flight RLC SDUs ride the forwarded handover context, so
+// nothing the source cell admitted is dropped in RLC AM.
+//
+// Results are byte-identical for any `jobs` value (see sim::shard_group).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "scenario/cell.h"
+#include "sim/shard_group.h"
+#include "topo/mobility_model.h"
+
+namespace l4span::scenario {
+
+struct topology_spec {
+    int num_cells = 2;
+    int ues_per_cell = 1;
+    // Per-cell template. num_ues is ignored (ues_per_cell governs) and the
+    // seed is offset per cell so every cell draws independent randomness.
+    cell_spec cell;
+    // Worker threads for the shard group (1 = serial; results identical).
+    int jobs = 1;
+    sim::tick core_hop_latency = sim::from_ms(1);    // UPF -> gNB
+    sim::tick ue_stack_latency = sim::from_us(500);  // modem <-> app
+    sim::tick x2_latency = sim::from_ms(2);          // per X2/Xn leg
+};
+
+class topology {
+public:
+    explicit topology(topology_spec spec);
+    ~topology();
+
+    int num_cells() const { return static_cast<int>(cells_.size()); }
+    int num_ues() const { return static_cast<int>(ues_.size()); }
+    scenario::cell& cell_at(int c) { return *cells_.at(static_cast<std::size_t>(c)); }
+    sim::shard_group& shards() { return *shards_; }
+    sim::tick quantum() const { return shards_->quantum(); }
+
+    // `spec.ue` is a global UE index in [0, num_ues). Call before run().
+    int add_flow(flow_spec spec);
+
+    // Schedules one X2/Xn handover (skipped if the UE is mid-handover or
+    // already served by `target_cell` when it fires). Call before run().
+    void schedule_handover(sim::tick when, int ue, int target_cell);
+    void apply(const std::vector<topo::handover_event>& plan);
+
+    void run(sim::tick duration);
+
+    // --- per-flow results (bounds-checked) ---
+    const stats::sample_set& owd_ms(int flow) const;
+    const stats::sample_set& rtt_ms(int flow) const;
+    const stats::rate_series& goodput_series(int flow) const;
+    double goodput_mbps(int flow) const;
+    std::uint64_t delivered_bytes(int flow) const;
+    std::uint64_t flow_retransmits(int flow) const;  // TCP only
+
+    // --- topology-level introspection ---
+    int home_cell(int ue) const;
+    int serving_cell(int ue) const;
+    ran::rnti_t ue_rnti(int ue) const;
+    std::uint64_t handovers_started() const { return ho_started_.load(); }
+    std::uint64_t handovers_completed() const { return ho_completed_.load(); }
+    std::uint64_t processed_events() const { return shards_->processed(); }
+
+private:
+    struct ue_entry {
+        int home = 0;     // immutable; also the home shard index
+        int serving = 0;  // mutated only from the home shard
+        ran::rnti_t rnti = 0;
+        bool attached = true;  // false while a handover is in flight
+        std::vector<net::packet> held_dl;  // UPF hold during handover
+        std::vector<net::packet> held_ul;  // UE-stack hold during handover
+    };
+    struct flow_rt {
+        flow_spec spec;
+        int home = 0;  // cached ues_[spec.ue].home
+        ran::qfi_t qfi = 0;
+        sim::tick wired_owd = 0;
+        flow_endpoints ep;
+    };
+
+    // All four run on the UE's home shard.
+    void route_downlink(std::size_t flow, net::packet pkt);
+    void route_uplink(std::size_t flow, net::packet pkt);
+    void begin_handover(int ue, int target);
+    void finish_handover(int ue, int target, ran::rnti_t new_rnti);
+
+    flow_rt& flow_at(int flow) const;
+    const ue_entry& ue_at(int ue) const;
+
+    topology_spec spec_;
+    std::unique_ptr<sim::shard_group> shards_;
+    std::vector<std::unique_ptr<scenario::cell>> cells_;
+    std::vector<std::unique_ptr<ue_entry>> ues_;
+    std::vector<std::unique_ptr<flow_rt>> flows_;
+    sim::tick duration_ = 0;
+    bool ran_ = false;
+    std::atomic<std::uint64_t> ho_started_{0};
+    std::atomic<std::uint64_t> ho_completed_{0};
+};
+
+}  // namespace l4span::scenario

@@ -1,0 +1,172 @@
+#include "sim/shard_group.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace l4span::sim {
+
+namespace {
+constexpr std::size_t k_external = static_cast<std::size_t>(-1);
+// Which shard the current thread is executing (lane selection for post()).
+thread_local std::size_t t_current_shard = k_external;
+
+// Sense-reversing spin barrier. The windows are sub-millisecond, so a
+// lockstep run crosses a barrier thousands of times per simulated second —
+// futex-based std::barrier wakeups cost more than the windows themselves
+// and made the sharded mode slower than serial. Workers here are
+// compute-saturated peers, so spin (with a yield fallback for oversubscribed
+// hosts) is the right trade.
+class spin_barrier {
+public:
+    explicit spin_barrier(int n) : n_(n), remaining_(n) {}
+
+    void arrive_and_wait()
+    {
+        const unsigned my_sense = sense_.load(std::memory_order_relaxed);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            remaining_.store(n_, std::memory_order_relaxed);
+            sense_.store(my_sense + 1, std::memory_order_release);
+            return;
+        }
+        int spins = 0;
+        while (sense_.load(std::memory_order_acquire) == my_sense) {
+            if (++spins > 4096) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+    }
+
+private:
+    const int n_;
+    std::atomic<int> remaining_;
+    std::atomic<unsigned> sense_{0};
+};
+}  // namespace
+
+shard_group::shard_group(std::size_t shards, tick quantum, int jobs)
+    : quantum_(quantum), jobs_(jobs > 0 ? jobs : 1)
+{
+    if (shards == 0) throw std::invalid_argument("shard_group: need at least one shard");
+    if (quantum <= 0) throw std::invalid_argument("shard_group: quantum must be positive");
+    shards_.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+        auto sh = std::make_unique<shard>();
+        sh->inbox.resize(shards + 1);
+        shards_.push_back(std::move(sh));
+    }
+}
+
+void shard_group::post(std::size_t target, tick when, callback fn)
+{
+    if (target == t_current_shard) {
+        // Same shard: plain scheduling, no mailbox latency constraint.
+        shards_[target]->loop.schedule_at(when, std::move(fn));
+        return;
+    }
+    const std::size_t lane = t_current_shard == k_external ? size() : t_current_shard;
+    shards_[target]->inbox[lane].push_back({when, std::move(fn)});
+}
+
+void shard_group::drain(std::size_t s)
+{
+    shard& sh = *shards_[s];
+    for (auto& lane : sh.inbox) {
+        if (lane.empty()) continue;
+        // Take the lane before scheduling so a throw mid-lane cannot leave
+        // already-moved callbacks behind for a later re-drain.
+        auto msgs = std::move(lane);
+        lane.clear();
+        for (auto& m : msgs) {
+            // `when == now` is fine (the loop has not run past now); earlier
+            // means a cross-shard latency below the quantum.
+            if (m.when < sh.loop.now())
+                throw std::logic_error(
+                    "shard_group: cross-shard message arrived late "
+                    "(latency below the sync quantum?)");
+            sh.loop.schedule_at(m.when, std::move(m.fn));
+        }
+    }
+}
+
+void shard_group::run_until(tick until)
+{
+    const std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs_), size());
+
+    if (workers <= 1) {
+        while (horizon_ < until) {
+            const tick window_end = std::min(until, horizon_ + quantum_);
+            // Drain-all then run-all, exactly the parallel phase structure:
+            // messages posted while running window k surface in window k+1.
+            for (std::size_t s = 0; s < size(); ++s) drain(s);
+            for (std::size_t s = 0; s < size(); ++s) {
+                t_current_shard = s;
+                shards_[s]->loop.run_until(window_end);
+            }
+            t_current_shard = k_external;
+            horizon_ = window_end;
+        }
+        return;
+    }
+
+    spin_barrier bar(static_cast<int>(workers));
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::atomic<bool> stop{false};
+    const tick start = horizon_;
+
+    auto record_error = [&] {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        stop.store(true, std::memory_order_release);
+    };
+    // After an error, every worker still finishes the current window's two
+    // barriers (so nobody deadlocks), then all observe `stop` at the same
+    // loop-top — the barrier's release/acquire ordering makes the decision
+    // unanimous — and the error is rethrown without executing further
+    // windows in a corrupted state.
+    auto work = [&](std::size_t w) {
+        for (tick h = start; h < until && !stop.load(std::memory_order_acquire);) {
+            const tick window_end = std::min(until, h + quantum_);
+            try {
+                for (std::size_t s = w; s < size(); s += workers) drain(s);
+            } catch (...) {
+                record_error();
+            }
+            bar.arrive_and_wait();  // all mailboxes drained before anyone runs
+            try {
+                for (std::size_t s = w; s < size(); s += workers) {
+                    t_current_shard = s;
+                    shards_[s]->loop.run_until(window_end);
+                }
+            } catch (...) {
+                record_error();
+            }
+            t_current_shard = k_external;
+            bar.arrive_and_wait();  // all ran before anyone drains the next window
+            h = window_end;
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work, w);
+    work(0);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+    horizon_ = until;
+}
+
+std::uint64_t shard_group::processed() const
+{
+    std::uint64_t total = 0;
+    for (const auto& sh : shards_) total += sh->loop.processed();
+    return total;
+}
+
+}  // namespace l4span::sim

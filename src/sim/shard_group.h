@@ -1,0 +1,85 @@
+// Partitioned-clock multi-loop executor: N event loops ("shards") advance
+// in lockstep time windows of one quantum, exchanging work only at window
+// barriers.
+//
+// This is the conservative-lookahead pattern of parallel discrete-event
+// simulation: as long as every cross-shard interaction carries a latency of
+// at least one quantum, a message produced in window k is delivered before
+// its target executes window k+1, so no shard ever sees an event "from the
+// past". Within that constraint, shards run concurrently on a worker pool —
+// grid_runner's one-loop-per-thread model, applied inside a single
+// scenario — and the result streams are byte-identical for any worker
+// count:
+//
+//  * the shard structure is fixed (it never depends on `jobs`);
+//  * each (target, source) mailbox lane has exactly one writer, and lanes
+//    are drained in fixed source order at the barrier, so the schedule
+//    order (and thus the event loop's equal-time tie-break) is
+//    deterministic;
+//  * `jobs == 1` executes the identical window/drain sequence inline.
+//
+// scenario::topology builds a multi-cell simulation on top of this, one
+// cell per shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/time.h"
+
+namespace l4span::sim {
+
+class shard_group {
+public:
+    // `quantum` is the window length; every cross-shard message must be
+    // posted at least one quantum into the sender's future. `jobs` caps the
+    // worker threads (1 = fully serial; values above the shard count are
+    // clamped).
+    shard_group(std::size_t shards, tick quantum, int jobs = 1);
+
+    std::size_t size() const { return shards_.size(); }
+    tick quantum() const { return quantum_; }
+    int jobs() const { return jobs_; }
+
+    // The shard's private loop. Safe to use directly from events running on
+    // that shard, and from the owning thread while the group is not running
+    // (setup/teardown).
+    event_loop& loop(std::size_t shard) { return shards_[shard]->loop; }
+
+    // Delivers `fn` on shard `target` at absolute time `when`. Callable from
+    // an event running on any shard or from outside run_until. Posts to the
+    // executing shard schedule directly; cross-shard posts go through the
+    // mailbox and must satisfy when >= sender_now + quantum (violations
+    // throw from the barrier drain).
+    void post(std::size_t target, tick when, callback fn);
+
+    // Advances every shard to `until` in lockstep windows.
+    void run_until(tick until);
+
+    // Events processed across all shards (deterministic).
+    std::uint64_t processed() const;
+
+private:
+    struct message {
+        tick when;
+        callback fn;
+    };
+    struct shard {
+        event_loop loop;
+        // One lane per source shard plus one for external (pre-run) posts;
+        // single writer per lane, drained only at barriers.
+        std::vector<std::vector<message>> inbox;
+    };
+
+    void drain(std::size_t s);
+
+    tick quantum_;
+    int jobs_;
+    tick horizon_ = 0;  // end of the last completed window
+    std::vector<std::unique_ptr<shard>> shards_;
+};
+
+}  // namespace l4span::sim

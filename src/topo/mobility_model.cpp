@@ -1,0 +1,38 @@
+#include "topo/mobility_model.h"
+
+#include <algorithm>
+
+#include "sim/rng.h"
+
+namespace l4span::topo {
+
+mobility_model::mobility_model(mobility_config cfg) : cfg_(cfg)
+{
+    if (cfg_.num_cells < 2 || cfg_.handovers_per_ue_per_sec <= 0.0) return;
+    const int num_ues = cfg_.num_cells * cfg_.ues_per_cell;
+    const double mean_dwell_sec = 1.0 / cfg_.handovers_per_ue_per_sec;
+
+    for (int ue = 0; ue < num_ues; ++ue) {
+        // Independent per-UE stream so plans are stable when UEs are added.
+        sim::rng rng(cfg_.seed * 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(ue));
+        int current = cfg_.ues_per_cell > 0 ? ue / cfg_.ues_per_cell : 0;
+        sim::tick t = cfg_.start;
+        for (;;) {
+            t += sim::from_sec(rng.exponential(mean_dwell_sec));
+            if (t >= cfg_.end) break;
+            // Uniform among the other cells: a walk, not a ping-pong.
+            int target = static_cast<int>(
+                rng.uniform_int(0, static_cast<std::int64_t>(cfg_.num_cells) - 2));
+            if (target >= current) ++target;
+            schedule_.push_back({t, ue, target});
+            current = target;
+        }
+    }
+    std::sort(schedule_.begin(), schedule_.end(),
+              [](const handover_event& a, const handover_event& b) {
+                  if (a.when != b.when) return a.when < b.when;
+                  return a.ue < b.ue;
+              });
+}
+
+}  // namespace l4span::topo

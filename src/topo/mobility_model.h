@@ -1,0 +1,46 @@
+// Time-scheduled UE mobility: a deterministic random-walk handover plan for
+// a multi-cell topology. Each UE dwells in its current cell for an
+// exponentially distributed interval, then hands over to a uniformly chosen
+// other cell — the mobility pattern 5G-Advanced L4S evaluations use to
+// stress marking-state migration.
+//
+// The model is pure planning: it emits a sorted schedule of handover events
+// that scenario::topology replays. Same config, same schedule, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace l4span::topo {
+
+struct handover_event {
+    sim::tick when = 0;
+    int ue = 0;  // global UE index (scenario::topology numbering)
+    int target_cell = 0;
+};
+
+struct mobility_config {
+    int num_cells = 2;
+    int ues_per_cell = 1;  // initial homing, cell-major (UE g starts in g / ues_per_cell)
+    double handovers_per_ue_per_sec = 0.2;
+    sim::tick start = sim::from_ms(500);  // let flows establish first
+    sim::tick end = 0;                    // planning horizon (exclusive)
+    std::uint64_t seed = 1;
+};
+
+class mobility_model {
+public:
+    explicit mobility_model(mobility_config cfg);
+
+    // Sorted by (when, ue); deterministic for a given config.
+    const std::vector<handover_event>& schedule() const { return schedule_; }
+    const mobility_config& config() const { return cfg_; }
+
+private:
+    mobility_config cfg_;
+    std::vector<handover_event> schedule_;
+};
+
+}  // namespace l4span::topo

@@ -28,8 +28,15 @@ public:
 
     void set_deliver(deliver_fn f) { deliver_ = std::move(f); }
 
-    // Takes effect from the next packet's serialization.
-    void set_rate(double bps) { rate_bps_ = bps; }
+    // Takes effect from the next packet's serialization. A rate of zero (or
+    // below) stalls the link — packets queue in the discipline — until a
+    // later set_rate() resumes draining; an in-flight serialization always
+    // completes at the rate it started with.
+    void set_rate(double bps)
+    {
+        rate_bps_ = bps;
+        pump();  // resume after a stall (no-op while busy or still stalled)
+    }
     double rate() const { return rate_bps_; }
 
     void send(net::packet p)
@@ -43,7 +50,7 @@ public:
 private:
     void pump()
     {
-        if (busy_) return;
+        if (busy_ || rate_bps_ <= 0.0) return;
         auto p = queue_->dequeue(loop_.now());
         if (!p) return;
         busy_ = true;

@@ -178,6 +178,34 @@ TEST(scenario, unknown_inputs_rejected)
     EXPECT_THROW(s.add_flow(f), std::out_of_range);
 }
 
+TEST(scenario, result_accessors_bounds_check_flow_and_ue_handles)
+{
+    cell_spec c;
+    cell_scenario s(c);
+    const int h = s.add_flow(flow_spec{});
+    s.run(sim::from_ms(200));
+    // Valid handles work...
+    EXPECT_NO_THROW(s.owd_ms(h));
+    EXPECT_NO_THROW(s.rlc_queue_sdus(0));
+    // ...every bad flow handle throws instead of silently reading a stale
+    // or foreign flow slot.
+    for (const int bad : {-1, 1, 42}) {
+        EXPECT_THROW(s.owd_ms(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.rtt_ms(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.goodput_mbps(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.goodput_series(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.fct_ms(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.delivered_bytes(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.flow_cwnd(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.tcp_flow(bad), std::out_of_range) << bad;
+    }
+    for (const int bad : {-1, 1, 9}) {
+        EXPECT_THROW(s.rlc_queue_sdus(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.rlc_queue_series(bad), std::out_of_range) << bad;
+        EXPECT_THROW(s.tx_log(bad), std::out_of_range) << bad;
+    }
+}
+
 // ---- parameterized sweep: the headline property holds for every CCA ----
 
 class cca_sweep : public ::testing::TestWithParam<const char*> {};
