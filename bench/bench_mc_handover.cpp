@@ -91,14 +91,15 @@ int main(int argc, char** argv)
     const auto args = scenario::parse_bench_args(argc, argv);
     benchutil::header("Multi-cell handover grid (topology layer)",
                       "L4Span marking state survives X2/Xn handover: per-UE "
-                      "OWD stays in the ~10 ms regime under mobility; 4-cell "
-                      "x 256-UE cells run sharded across threads");
+                      "OWD stays in the ~10 ms regime under mobility; up to "
+                      "8 cells / 256-UE cells run sharded across threads");
     std::vector<grid_point> points{
         {2, 16, 0.0},   // no mobility: the multi-cell baseline
         {2, 16, 0.5},
         {4, 16, 0.5},
         {4, 64, 0.2},   // beyond the paper's largest cell
         {4, 256, 0.1},  // the many-UE sharding showcase
+        {8, 64, 0.2},   // 8-cell deployment: one more notch up the scale axis
     };
     sim::tick duration = sim::from_sec(6);
     if (args.quick) {

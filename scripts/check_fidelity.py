@@ -2,11 +2,12 @@
 """Reproduction-fidelity check: compare committed BENCH_*.json trajectories
 against the paper's published anchor numbers and warn on drift.
 
-Stub wiring for the ROADMAP fidelity item: today the ANCHORS table covers
-the Fig. 9 headline OWD reductions only — extend it (Fig. 24 BBR/Reno
-coexistence next) as more figures get published-number extractions.
-Warn-only by default so CI stays green while the reproduction converges;
---strict turns drift into a nonzero exit once the numbers are pinned down.
+Wiring for the ROADMAP fidelity item: the ANCHORS table covers the Fig. 9
+headline OWD reductions, the Fig. 14 fairness indices and the Fig. 24
+BBR/Reno coexistence medians — extend it as more figures get
+published-number extractions. Warn-only by default so CI stays green while
+the reproduction converges; --strict turns drift into a nonzero exit (the
+CI workflow exposes this as a manual-dispatch input for later flipping).
 
 Usage: scripts/check_fidelity.py [--strict] [--tolerance PCT] [repo_root]
 """
@@ -58,6 +59,52 @@ ANCHORS = [
         "metric": ["owd_reduction_pct"],
         "paper": 52.0,
         "note": "Fig. 9: L4Span median OWD reduction, BBRv2/static",
+    },
+    # Fig. 14 (§6.2.4): staggered flows converge to equal shares — the paper
+    # reports near-perfect fairness (Jain index ~1) in every case.
+    {
+        "figure": "fig14",
+        "file": "BENCH_fig14.json",
+        "select": {"case": "(a) 3x Prague, similar RTT"},
+        "metric": ["jain_index"],
+        "paper": 1.0,
+        "note": "Fig. 14a: Jain index, 3x Prague similar RTT",
+    },
+    {
+        "figure": "fig14",
+        "file": "BENCH_fig14.json",
+        "select": {"case": "(b) 3x Prague, distinct RTT (25/82/57 ms)"},
+        "metric": ["jain_index"],
+        "paper": 1.0,
+        "note": "Fig. 14b: Jain index, 3x Prague distinct RTT",
+    },
+    {
+        "figure": "fig14",
+        "file": "BENCH_fig14.json",
+        "select": {"case": "(c) 2x Prague + CUBIC"},
+        "metric": ["jain_index"],
+        "paper": 1.0,
+        "note": "Fig. 14c: Jain index, 2x Prague + CUBIC",
+    },
+    # Fig. 24 (Appendix B): Reno's OWD collapses to tens of ms under L4Span
+    # while (non-ECN-responsive) BBRv1 sits unchanged near its ~70 ms BDP.
+    {
+        "figure": "fig24",
+        "file": "BENCH_fig24.json",
+        "select": {"cca": "reno", "chan": "static", "l4span": True,
+                   "ues": 16, "rlc_queue_sdus": 16384},
+        "metric": ["owd_ms", "p50"],
+        "paper": 40.0,
+        "note": "Fig. 24: Reno median OWD with L4Span, static",
+    },
+    {
+        "figure": "fig24",
+        "file": "BENCH_fig24.json",
+        "select": {"cca": "bbr", "chan": "static", "l4span": True,
+                   "ues": 16, "rlc_queue_sdus": 16384},
+        "metric": ["owd_ms", "p50"],
+        "paper": 70.0,
+        "note": "Fig. 24: BBRv1 median OWD (L4Span cannot help), static",
     },
 ]
 

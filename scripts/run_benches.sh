@@ -59,7 +59,8 @@ fi
 # topology-sharded).
 grid_benches="bench_fig09_tcp_grid bench_fig13_video bench_fig14_fairness \
 bench_fig16_shared_drb bench_fig17_queue_cdf bench_fig18_coherence \
-bench_fig19_threshold bench_fig24_bbr_reno bench_mc_handover bench_tab1_overhead"
+bench_fig19_threshold bench_fig24_bbr_reno bench_mc_handover \
+bench_quic_interactive bench_tab1_overhead"
 
 is_grid_bench() {
     for g in $grid_benches; do
@@ -78,11 +79,11 @@ for bin in "$build_dir"/bench_*; do
     echo "== $name"
     if is_grid_bench "$name"; then
         # bench_fig09_tcp_grid -> fig09; bench_tab1_overhead -> tab1
-        if [ "$name" = "bench_mc_handover" ]; then
-            fig=mc_handover
-        else
-            fig=$(echo "$name" | cut -d_ -f2)
-        fi
+        case "$name" in
+            bench_mc_handover) fig=mc_handover ;;
+            bench_quic_interactive) fig=quic_interactive ;;
+            *) fig=$(echo "$name" | cut -d_ -f2) ;;
+        esac
         set -- $quick --json "$out_dir/BENCH_$fig.json"
         if [ "$jobs" -gt 0 ] 2>/dev/null; then
             set -- "$@" --jobs "$jobs"

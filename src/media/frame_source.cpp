@@ -1,0 +1,82 @@
+#include "media/frame_source.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace l4span::media {
+
+frame_source::frame_source(sim::event_loop& loop, frame_source_config cfg, write_fn write)
+    : loop_(loop), cfg_(cfg), write_(std::move(write))
+{
+    const double per_frame = cfg_.bitrate_bps / cfg_.fps / 8.0;
+    if (cfg_.keyframe_interval_s > 0.0 && cfg_.keyframe_scale > 1.0) {
+        frames_per_key_ = std::max(
+            1, static_cast<int>(std::lround(cfg_.keyframe_interval_s * cfg_.fps)));
+        // Scale delta frames down so the keyframe burst does not raise the
+        // long-term average above the target bitrate:
+        // (scale + N - 1) * delta == N * per_frame.
+        const double n = static_cast<double>(frames_per_key_);
+        delta_bytes_ = static_cast<std::uint32_t>(
+            std::lround(n * per_frame / (cfg_.keyframe_scale + n - 1.0)));
+    } else {
+        delta_bytes_ = static_cast<std::uint32_t>(std::lround(per_frame));
+    }
+    delta_bytes_ = std::max<std::uint32_t>(delta_bytes_, 1);
+}
+
+void frame_source::start()
+{
+    if (running_) return;
+    running_ = true;
+    emit();
+}
+
+void frame_source::emit()
+{
+    if (!running_) return;
+    const std::uint64_t id = next_frame_id_++;
+    const bool keyframe =
+        frames_per_key_ > 0 &&
+        (id - 1) % static_cast<std::uint64_t>(frames_per_key_) == 0;
+    const std::uint32_t bytes =
+        keyframe ? static_cast<std::uint32_t>(
+                       std::lround(delta_bytes_ * cfg_.keyframe_scale))
+                 : delta_bytes_;
+
+    bytes_generated_ += bytes;
+    pending_.push_back({id, bytes_generated_, loop_.now()});
+    write_(id, bytes);
+
+    loop_.schedule_after(sim::from_sec(1.0 / cfg_.fps), [this] { emit(); });
+}
+
+void frame_source::complete(const pending_frame& f, sim::tick now)
+{
+    const sim::tick owd = now - f.generated;
+    owd_ms_.add(sim::to_ms(owd));
+    ++completed_;
+    if (owd > cfg_.deadline) ++stalled_;
+}
+
+void frame_source::on_bytes_delivered(std::uint64_t cumulative_bytes, sim::tick now)
+{
+    while (!pending_.empty() && pending_.front().end_offset <= cumulative_bytes) {
+        complete(pending_.front(), now);
+        pending_.pop_front();
+    }
+}
+
+void frame_source::on_frame_complete(std::uint64_t frame_id, sim::tick now)
+{
+    // Streams can finish out of generation order when an older frame is
+    // still repairing a loss, so search rather than pop.
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+        if (it->id == frame_id) {
+            complete(*it, now);
+            pending_.erase(it);
+            return;
+        }
+    }
+}
+
+}  // namespace l4span::media

@@ -1,0 +1,95 @@
+// Application-limited interactive sender: a frame-paced source (cloud
+// gaming / XR encoder model) that rides a reliable transport instead of the
+// UDP media path in media.h.
+//
+// Every 1/fps seconds it emits one encoded frame — steady-state size set by
+// the target bitrate, with periodic keyframes `keyframe_scale` times larger
+// (the bursts that stress a shallow L4S queue). The transport glue reports
+// delivery back and the source records the metric interactive applications
+// actually feel: per-frame completion one-way delay (generation to full
+// delivery at the receiver) and the stall rate (frames completing after
+// their delivery deadline).
+//
+// Two completion modes, matching the two transports:
+// - byte-stream (TCP): frames occupy consecutive byte ranges of one stream;
+//   on_bytes_delivered(cumulative) completes every frame whose end offset
+//   the receiver's in-order point has passed.
+// - frame-per-stream (QUIC): each frame is one stream closed by FIN;
+//   on_frame_complete(frame_id) fires when that stream fully delivers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/event_loop.h"
+#include "stats/sample_set.h"
+
+namespace l4span::media {
+
+struct frame_source_config {
+    double fps = 60.0;
+    double bitrate_bps = 8e6;          // long-term average target
+    double keyframe_interval_s = 2.0;  // 0: no keyframes
+    double keyframe_scale = 4.0;       // keyframe size vs a delta frame
+    sim::tick deadline = sim::from_ms(50);  // completion budget before "stall"
+};
+
+class frame_source {
+public:
+    // Called once per generated frame: ship `bytes` as frame `frame_id`
+    // (ids are 1-based and monotonic).
+    using write_fn = std::function<void(std::uint64_t frame_id, std::uint32_t bytes)>;
+
+    frame_source(sim::event_loop& loop, frame_source_config cfg, write_fn write);
+
+    void start();
+    void stop() { running_ = false; }
+
+    // Byte-stream transports: receiver's cumulative in-order byte count.
+    void on_bytes_delivered(std::uint64_t cumulative_bytes, sim::tick now);
+    // Frame-per-stream transports: frame `frame_id` fully delivered.
+    void on_frame_complete(std::uint64_t frame_id, sim::tick now);
+
+    // --- stats ---
+    std::uint64_t frames_sent() const { return next_frame_id_ - 1; }
+    std::uint64_t frames_completed() const { return completed_; }
+    std::uint64_t stalled_frames() const { return stalled_; }
+    double stall_fraction() const
+    {
+        return completed_ ? static_cast<double>(stalled_) /
+                                static_cast<double>(completed_)
+                          : 0.0;
+    }
+    // Per-frame completion OWD in ms (generation -> fully delivered).
+    const stats::sample_set& frame_owd_ms() const { return owd_ms_; }
+    std::uint64_t bytes_generated() const { return bytes_generated_; }
+
+private:
+    struct pending_frame {
+        std::uint64_t id = 0;
+        std::uint64_t end_offset = 0;  // cumulative stream offset of the last byte
+        sim::tick generated = 0;
+    };
+
+    void emit();
+    void complete(const pending_frame& f, sim::tick now);
+
+    sim::event_loop& loop_;
+    frame_source_config cfg_;
+    write_fn write_;
+    bool running_ = false;
+
+    std::uint32_t delta_bytes_ = 0;  // steady-state frame size
+    int frames_per_key_ = 0;         // 0: keyframes disabled
+
+    std::uint64_t next_frame_id_ = 1;
+    std::uint64_t bytes_generated_ = 0;
+    std::deque<pending_frame> pending_;  // in generation (= delivery) order
+
+    std::uint64_t completed_ = 0;
+    std::uint64_t stalled_ = 0;
+    stats::sample_set owd_ms_;
+};
+
+}  // namespace l4span::media

@@ -1,0 +1,111 @@
+#include "net/quic_wire.h"
+
+namespace l4span::net::quic {
+
+std::size_t varint_size(std::uint64_t v)
+{
+    if (v < (1ull << 6)) return 1;
+    if (v < (1ull << 14)) return 2;
+    if (v < (1ull << 30)) return 4;
+    return 8;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v)
+{
+    const std::size_t n = varint_size(v);
+    // 2-bit length prefix in the two most significant bits of the first byte.
+    static constexpr std::uint8_t prefix[9] = {0, 0x00, 0x40, 0, 0x80, 0, 0, 0, 0xc0};
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint8_t b = static_cast<std::uint8_t>(v >> (8 * (n - 1 - i)));
+        if (i == 0) b = static_cast<std::uint8_t>((b & 0x3f) | prefix[n]);
+        out.push_back(b);
+    }
+}
+
+bool get_varint(const std::uint8_t*& p, const std::uint8_t* end, std::uint64_t& v)
+{
+    if (p >= end) return false;
+    const std::size_t n = std::size_t{1} << (*p >> 6);
+    if (static_cast<std::size_t>(end - p) < n) return false;
+    v = *p++ & 0x3f;
+    for (std::size_t i = 1; i < n; ++i) v = (v << 8) | *p++;
+    return true;
+}
+
+std::size_t encoded_ack_size(const ack_frame& f)
+{
+    std::size_t n = varint_size(f.ecn_present ? 0x03 : 0x02) +
+                    varint_size(f.largest) + varint_size(f.ack_delay_us);
+    n += varint_size(f.ranges.empty() ? 0 : f.ranges.size() - 1);
+    n += varint_size(f.ranges.empty() ? 0 : f.largest - f.ranges.front().first);
+    for (std::size_t i = 1; i < f.ranges.size(); ++i) {
+        n += varint_size(f.ranges[i - 1].first - f.ranges[i].last - 2);
+        n += varint_size(f.ranges[i].last - f.ranges[i].first);
+    }
+    if (f.ecn_present)
+        n += varint_size(f.ecn.ect0) + varint_size(f.ecn.ect1) + varint_size(f.ecn.ce);
+    return n;
+}
+
+std::vector<std::uint8_t> encode_ack(const ack_frame& f)
+{
+    std::vector<std::uint8_t> out;
+    put_varint(out, f.ecn_present ? 0x03 : 0x02);
+    put_varint(out, f.largest);
+    put_varint(out, f.ack_delay_us);
+    const std::size_t extra = f.ranges.empty() ? 0 : f.ranges.size() - 1;
+    put_varint(out, extra);
+    // First ACK Range: how far below `largest` the newest run extends.
+    put_varint(out, f.ranges.empty() ? 0 : f.largest - f.ranges.front().first);
+    for (std::size_t i = 1; i < f.ranges.size(); ++i) {
+        // Gap: unacked packet numbers between this range and the previous
+        // one, minus 1 (ranges are non-adjacent, so this never underflows).
+        put_varint(out, f.ranges[i - 1].first - f.ranges[i].last - 2);
+        put_varint(out, f.ranges[i].last - f.ranges[i].first);
+    }
+    if (f.ecn_present) {
+        put_varint(out, f.ecn.ect0);
+        put_varint(out, f.ecn.ect1);
+        put_varint(out, f.ecn.ce);
+    }
+    return out;
+}
+
+bool decode_ack(const std::uint8_t* data, std::size_t len, ack_frame& out)
+{
+    const std::uint8_t* p = data;
+    const std::uint8_t* end = data + len;
+    std::uint64_t type = 0;
+    if (!get_varint(p, end, type)) return false;
+    if (type != 0x02 && type != 0x03) return false;
+    out = ack_frame{};
+    out.ecn_present = type == 0x03;
+
+    std::uint64_t range_count = 0, first_range = 0;
+    if (!get_varint(p, end, out.largest)) return false;
+    if (!get_varint(p, end, out.ack_delay_us)) return false;
+    if (!get_varint(p, end, range_count)) return false;
+    if (!get_varint(p, end, first_range)) return false;
+    if (first_range > out.largest) return false;
+
+    out.ranges.push_back({out.largest - first_range, out.largest});
+    std::uint64_t smallest = out.ranges.front().first;
+    for (std::uint64_t i = 0; i < range_count; ++i) {
+        std::uint64_t gap = 0, length = 0;
+        if (!get_varint(p, end, gap)) return false;
+        if (!get_varint(p, end, length)) return false;
+        if (smallest < gap + 2) return false;
+        const std::uint64_t largest_i = smallest - gap - 2;
+        if (length > largest_i) return false;
+        out.ranges.push_back({largest_i - length, largest_i});
+        smallest = largest_i - length;
+    }
+    if (out.ecn_present) {
+        if (!get_varint(p, end, out.ecn.ect0)) return false;
+        if (!get_varint(p, end, out.ecn.ect1)) return false;
+        if (!get_varint(p, end, out.ecn.ce)) return false;
+    }
+    return p == end;
+}
+
+}  // namespace l4span::net::quic

@@ -1,0 +1,83 @@
+// QUIC ACK-frame wire format (RFC 9000 §19.3) with variable-length integer
+// encoding (§16).
+//
+// The structural simulation keeps QUIC frames as C++ structs riding in
+// net::packet::app_data, but the ACK frames a QUIC receiver emits are also
+// serialized through this codec so (a) ACK packets are charged their true
+// wire size — range count and ECN counters change the bytes on the air the
+// RAN schedules — and (b) the encoding L4Span would have to parse (and
+// cannot, which is why QUIC flows use the downlink-marking fallback) is
+// tested against genuine varint layouts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace l4span::net::quic {
+
+// --- variable-length integers (RFC 9000 §16) --------------------------------
+
+// Largest value a QUIC varint can carry (2^62 - 1).
+inline constexpr std::uint64_t k_varint_max = (1ull << 62) - 1;
+
+// Encoded size in bytes (1, 2, 4 or 8) for `v`; v must be <= k_varint_max.
+std::size_t varint_size(std::uint64_t v);
+
+// Appends the varint encoding of `v` to `out`.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v);
+
+// Reads one varint at `p` (advancing it), bounded by `end`. Returns false
+// on truncation.
+bool get_varint(const std::uint8_t*& p, const std::uint8_t* end, std::uint64_t& v);
+
+// --- ACK frame ---------------------------------------------------------------
+
+// One contiguous run of acknowledged packet numbers, inclusive.
+struct ack_range {
+    std::uint64_t first = 0;
+    std::uint64_t last = 0;
+
+    bool operator==(const ack_range&) const = default;
+};
+
+// Cumulative ECN counts (packets) echoed in ACK frames when the connection
+// validates ECN — the AccECN analogue Prague-over-QUIC consumes.
+struct ecn_counts {
+    std::uint64_t ect0 = 0;
+    std::uint64_t ect1 = 0;
+    std::uint64_t ce = 0;
+
+    bool operator==(const ecn_counts&) const = default;
+};
+
+// Structural ACK frame: descending, non-overlapping ranges with the newest
+// (containing largest_acked) first. ack_delay is in microseconds on the wire
+// (exponent 0 for simplicity; the engine feeds it ticks and converts).
+struct ack_frame {
+    std::uint64_t largest = 0;       // == ranges.front().last when non-empty
+    std::uint64_t ack_delay_us = 0;
+    std::vector<ack_range> ranges;   // descending by packet number
+    bool ecn_present = false;        // type 0x03 (ACK_ECN) vs 0x02
+    ecn_counts ecn;
+
+    bool operator==(const ack_frame&) const = default;
+};
+
+// Encoded size of the frame in bytes without materializing it — what the
+// per-packet hot path charges ACK packets (encode_ack is for the wire
+// tests and any consumer that needs the actual bytes).
+std::size_t encoded_ack_size(const ack_frame& f);
+
+// Serializes the frame (type byte + varint fields, RFC 9000 §19.3 layout:
+// largest, delay, range count, first range, then gap/length pairs, then the
+// three ECN counts for type 0x03). `f.ranges` must be well-formed:
+// non-empty, descending, non-adjacent (a gap of at least one packet number
+// between consecutive ranges), with f.largest == f.ranges.front().last.
+std::vector<std::uint8_t> encode_ack(const ack_frame& f);
+
+// Parses bytes produced by encode_ack (or any spec-conformant ACK frame).
+// Returns false on truncation, a non-ACK type byte, or malformed ranges
+// (a range or gap underflowing below packet number 0).
+bool decode_ack(const std::uint8_t* data, std::size_t len, ack_frame& out);
+
+}  // namespace l4span::net::quic

@@ -10,12 +10,25 @@ constexpr sim::tick k_sample_period = sim::from_ms(10);
 
 bool is_l4s_cca(const std::string& cca)
 {
+    if (is_quic_cca(cca)) return is_l4s_cca(quic_cc_of(cca));
     return cca == "prague" || cca == "bbr2" || cca == "scream" || cca == "udp-prague";
 }
 
 bool is_media_cca(const std::string& cca)
 {
     return cca == "scream" || cca == "udp-prague";
+}
+
+bool is_quic_cca(const std::string& cca)
+{
+    return cca.rfind("quic-", 0) == 0;
+}
+
+std::string quic_cc_of(const std::string& cca)
+{
+    if (!is_quic_cca(cca))
+        throw std::invalid_argument("not a quic CCA name: " + cca);
+    return cca.substr(5);
 }
 
 chan::channel_profile channel_by_name(const std::string& name, std::uint64_t variant)
@@ -41,49 +54,70 @@ chan::channel_profile channel_by_name(const std::string& name, std::uint64_t var
 void flow_endpoints::on_downlink(const net::packet& pkt)
 {
     if (is_media) mrcv->on_packet(pkt);
+    else if (is_quic) qrcv->on_packet(pkt);
     else rcv->on_packet(pkt);
 }
 
 void flow_endpoints::on_uplink(const net::packet& pkt)
 {
     if (is_media) msnd->on_packet(pkt);
+    else if (is_quic) qsnd->on_packet(pkt);
     else snd->on_packet(pkt);
+}
+
+void flow_endpoints::on_path_switch()
+{
+    if (!is_quic) return;
+    qsnd->on_path_switch();
+    qrcv->on_path_switch();
 }
 
 const stats::sample_set& flow_endpoints::owd_samples() const
 {
-    return is_media ? mrcv->owd_samples() : rcv->owd_samples();
+    if (is_media) return mrcv->owd_samples();
+    return is_quic ? qrcv->owd_samples() : rcv->owd_samples();
 }
 
 const stats::sample_set& flow_endpoints::rtt_samples() const
 {
-    return is_media ? msnd->rtt_samples() : snd->rtt_samples();
+    if (is_media) return msnd->rtt_samples();
+    return is_quic ? qsnd->rtt_samples() : snd->rtt_samples();
 }
 
 const stats::rate_series& flow_endpoints::goodput() const
 {
-    return is_media ? mrcv->goodput() : rcv->goodput();
+    if (is_media) return mrcv->goodput();
+    return is_quic ? qrcv->goodput() : rcv->goodput();
 }
 
 std::uint64_t flow_endpoints::delivered_bytes() const
 {
-    return is_media ? static_cast<std::uint64_t>(mrcv->goodput().total_bytes())
-                    : rcv->received_bytes();
+    if (is_media) return static_cast<std::uint64_t>(mrcv->goodput().total_bytes());
+    return is_quic ? qrcv->received_bytes() : rcv->received_bytes();
 }
 
 std::uint64_t flow_endpoints::cwnd_bytes() const
 {
-    return is_media ? 0 : snd->cwnd_bytes();
+    if (is_media) return 0;
+    return is_quic ? qsnd->cwnd_bytes() : snd->cwnd_bytes();
+}
+
+std::uint64_t flow_endpoints::transport_retransmits() const
+{
+    if (is_media) return 0;
+    return is_quic ? qsnd->retransmits() : snd->retransmits();
 }
 
 bool flow_endpoints::tcp_finished() const
 {
-    return !is_media && snd->finished();
+    if (is_media) return false;
+    return is_quic ? qsnd->finished() : snd->finished();
 }
 
 sim::tick flow_endpoints::tcp_finish_time() const
 {
-    return is_media ? -1 : snd->finish_time();
+    if (is_media) return -1;
+    return is_quic ? qsnd->finish_time() : snd->finish_time();
 }
 
 flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
@@ -93,6 +127,7 @@ flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
 {
     flow_endpoints ep;
     ep.is_media = is_media_cca(spec.cca);
+    ep.is_quic = is_quic_cca(spec.cca);
 
     // Synthetic five-tuple: unique server per flow.
     net::five_tuple ft;
@@ -100,7 +135,14 @@ flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
     ft.dst_ip = 0xc0a80001u + static_cast<std::uint32_t>(ue_addr);
     ft.src_port = 443;
     ft.dst_port = static_cast<std::uint16_t>(50000 + handle);
-    ft.proto = ep.is_media ? net::ip_proto::udp : net::ip_proto::tcp;
+    ft.proto = (ep.is_media || ep.is_quic) ? net::ip_proto::udp : net::ip_proto::tcp;
+
+    media::frame_source_config fcfg;
+    fcfg.fps = spec.fps;
+    fcfg.bitrate_bps = spec.frame_bitrate_bps;
+    fcfg.keyframe_interval_s = spec.keyframe_interval_s;
+    fcfg.keyframe_scale = spec.keyframe_scale;
+    fcfg.deadline = sim::from_ms(spec.frame_deadline_ms);
 
     if (ep.is_media) {
         media::media_config mcfg;
@@ -117,11 +159,45 @@ flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
         loop.schedule_at(spec.start_time, [snd] { snd->start(); });
         if (spec.stop_time >= 0)
             loop.schedule_at(spec.stop_time, [snd] { snd->stop(); });
+    } else if (ep.is_quic) {
+        transport::quic::quic_config qcfg;
+        qcfg.mtu_payload = spec.mss;
+        qcfg.max_cwnd = spec.max_cwnd;
+        qcfg.flow_bytes = spec.flow_bytes;
+        qcfg.app_limited = spec.fps > 0.0;
+        qcfg.ft = ft;
+        qcfg.flow_id = static_cast<std::uint64_t>(handle);
+        auto cc = transport::make_cc(quic_cc_of(spec.cca), spec.mss);
+        ep.qsnd = std::make_unique<transport::quic_sender>(loop, qcfg, std::move(cc),
+                                                           std::move(dl_send));
+        ep.qrcv = std::make_unique<transport::quic_receiver>(loop, qcfg,
+                                                             std::move(ul_send));
+        transport::quic_sender* snd = ep.qsnd.get();
+        if (spec.fps > 0.0) {
+            // One stream per frame (stream id == frame id), closed by FIN;
+            // completion comes back through the receiver's stream handler.
+            ep.frames = std::make_unique<media::frame_source>(
+                loop, fcfg, [snd](std::uint64_t frame_id, std::uint32_t bytes) {
+                    snd->write(frame_id, bytes, /*fin=*/true);
+                });
+            media::frame_source* fr = ep.frames.get();
+            ep.qrcv->set_stream_complete_handler(
+                [fr](transport::quic::stream_id_t stream, sim::tick now) {
+                    fr->on_frame_complete(stream, now);
+                });
+            loop.schedule_at(spec.start_time, [fr] { fr->start(); });
+            if (spec.stop_time >= 0)
+                loop.schedule_at(spec.stop_time, [fr] { fr->stop(); });
+        }
+        loop.schedule_at(spec.start_time, [snd] { snd->start(); });
+        if (spec.stop_time >= 0)
+            loop.schedule_at(spec.stop_time, [snd] { snd->stop(); });
     } else {
         transport::tcp_config tcfg;
         tcfg.mss = spec.mss;
         tcfg.max_cwnd = spec.max_cwnd;
         tcfg.flow_bytes = spec.flow_bytes;
+        tcfg.app_limited = spec.fps > 0.0;
         tcfg.ft = ft;
         tcfg.flow_id = static_cast<std::uint64_t>(handle);
         auto cc = transport::make_cc(spec.cca, spec.mss);
@@ -131,6 +207,21 @@ flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
         ep.rcv = std::make_unique<transport::tcp_receiver>(loop, tcfg, accecn,
                                                            std::move(ul_send));
         transport::tcp_sender* snd = ep.snd.get();
+        if (spec.fps > 0.0) {
+            // Frames occupy consecutive ranges of the TCP byte stream; the
+            // receiver's in-order point completes them.
+            ep.frames = std::make_unique<media::frame_source>(
+                loop, fcfg, [snd](std::uint64_t, std::uint32_t bytes) {
+                    snd->app_write(bytes);
+                });
+            media::frame_source* fr = ep.frames.get();
+            ep.rcv->set_deliver_handler([fr](std::uint64_t bytes, sim::tick now) {
+                fr->on_bytes_delivered(bytes, now);
+            });
+            loop.schedule_at(spec.start_time, [fr] { fr->start(); });
+            if (spec.stop_time >= 0)
+                loop.schedule_at(spec.stop_time, [fr] { fr->stop(); });
+        }
         loop.schedule_at(spec.start_time, [snd] { snd->start(); });
         if (spec.stop_time >= 0)
             loop.schedule_at(spec.stop_time, [snd] { snd->stop(); });

@@ -14,12 +14,14 @@
 #include <vector>
 
 #include "core/l4span.h"
+#include "media/frame_source.h"
 #include "media/media.h"
 #include "ran/gnb.h"
 #include "scenario/baselines.h"
 #include "sim/event_loop.h"
 #include "stats/sample_set.h"
 #include "stats/timeseries.h"
+#include "transport/quic_engine.h"
 #include "transport/tcp.h"
 
 namespace l4span::scenario {
@@ -53,7 +55,10 @@ struct cell_spec {
 };
 
 struct flow_spec {
-    std::string cca = "prague";  // reno|cubic|prague|bbr|bbr2|scream|udp-prague
+    // reno|cubic|prague|bbr|bbr2 (TCP), scream|udp-prague (UDP media), or
+    // quic-<cc> (QUIC engine with any of the TCP congestion controllers,
+    // e.g. "quic-prague").
+    std::string cca = "prague";
     int ue = 0;                  // UE index (cell-local or topology-global)
     sim::tick start_time = 0;
     sim::tick stop_time = -1;            // long-lived flows run to scenario end
@@ -63,6 +68,15 @@ struct flow_spec {
     std::uint64_t max_cwnd = 4ull << 20;
     double media_max_bps = 38e6;
     double media_start_bps = 1e6;
+    // Interactive frame-paced source (media::frame_source) riding the
+    // reliable transport — QUIC stream-per-frame or app-limited TCP — when
+    // fps > 0. Ignored for scream/udp-prague flows; an interactive flow is
+    // long-lived (flow_bytes is ignored, the stream never "finishes").
+    double fps = 0.0;
+    double frame_bitrate_bps = 8e6;
+    double keyframe_interval_s = 2.0;
+    double keyframe_scale = 4.0;
+    double frame_deadline_ms = 50.0;
 };
 
 // Maps the paper's channel labels to profiles.
@@ -70,28 +84,42 @@ chan::channel_profile channel_by_name(const std::string& name, std::uint64_t var
 
 bool is_l4s_cca(const std::string& cca);
 bool is_media_cca(const std::string& cca);
+bool is_quic_cca(const std::string& cca);
+// "quic-prague" -> "prague"; throws std::invalid_argument otherwise.
+std::string quic_cc_of(const std::string& cca);
 
-// One flow's endpoints: server-side sender and UE-side receiver (TCP or
-// media), wired to scenario-supplied send callbacks. Both endpoints live on
-// the loop they were created with — in a sharded topology that is the UE's
-// home shard, which never changes even as the UE hands over between cells.
+// One flow's endpoints: server-side sender and UE-side receiver (TCP, QUIC
+// or media), wired to scenario-supplied send callbacks. Both endpoints live
+// on the loop they were created with — in a sharded topology that is the
+// UE's home shard, which never changes even as the UE hands over between
+// cells.
 struct flow_endpoints {
     bool is_media = false;
+    bool is_quic = false;
     std::unique_ptr<transport::tcp_sender> snd;
     std::unique_ptr<transport::tcp_receiver> rcv;
+    std::unique_ptr<transport::quic_sender> qsnd;
+    std::unique_ptr<transport::quic_receiver> qrcv;
     std::unique_ptr<media::media_sender> msnd;
     std::unique_ptr<media::media_receiver> mrcv;
+    std::unique_ptr<media::frame_source> frames;  // interactive source (fps > 0)
 
     void on_downlink(const net::packet& pkt);  // deliver to the receiver
     void on_uplink(const net::packet& pkt);    // deliver feedback to the sender
+
+    // Handover path switch: a QUIC connection rotates to its next issued
+    // CID and keeps going; TCP/media endpoints have nothing to do.
+    void on_path_switch();
 
     const stats::sample_set& owd_samples() const;
     const stats::sample_set& rtt_samples() const;
     const stats::rate_series& goodput() const;
     std::uint64_t delivered_bytes() const;
     std::uint64_t cwnd_bytes() const;
+    std::uint64_t transport_retransmits() const;  // TCP/QUIC data re-sends
     bool tcp_finished() const;
     sim::tick tcp_finish_time() const;
+    const media::frame_source* frame_stats() const { return frames.get(); }
 };
 
 // Builds the endpoints for `spec` and schedules their start/stop events on

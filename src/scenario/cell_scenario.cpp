@@ -132,6 +132,21 @@ const transport::tcp_sender* cell_scenario::tcp_flow(int flow) const
     return flow_at(flow).ep.snd.get();
 }
 
+const transport::quic_sender* cell_scenario::quic_flow(int flow) const
+{
+    return flow_at(flow).ep.qsnd.get();
+}
+
+const media::frame_source* cell_scenario::frame_stats(int flow) const
+{
+    return flow_at(flow).ep.frame_stats();
+}
+
+std::uint64_t cell_scenario::flow_retransmits(int flow) const
+{
+    return flow_at(flow).ep.transport_retransmits();
+}
+
 double cell_scenario::fct_ms(int flow) const
 {
     const flow_rt& f = flow_at(flow);

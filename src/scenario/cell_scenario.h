@@ -38,8 +38,11 @@ public:
     const stats::rate_series& goodput_series(int flow) const;
     double fct_ms(int flow) const;                         // -1 if not finished
     std::uint64_t delivered_bytes(int flow) const;
-    std::uint64_t flow_cwnd(int flow) const;               // TCP flows only
+    std::uint64_t flow_cwnd(int flow) const;               // TCP/QUIC flows only
     const transport::tcp_sender* tcp_flow(int flow) const;
+    const transport::quic_sender* quic_flow(int flow) const;   // quic-* flows
+    const media::frame_source* frame_stats(int flow) const;    // fps > 0 flows
+    std::uint64_t flow_retransmits(int flow) const;        // TCP/QUIC re-sends
 
     // --- cell-level instrumentation ---
     const stats::sample_set& rlc_queue_sdus(int ue) const;  // sampled every 10 ms

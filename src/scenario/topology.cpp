@@ -222,6 +222,12 @@ void topology::finish_handover(int ue, int target, ran::rnti_t new_rnti)
     u.rnti = new_rnti;
     u.attached = true;
     ++ho_completed_;
+    // Path switch: QUIC connections rotate to their next issued CID and
+    // keep going — connection identity is the CID, not the path, so no
+    // transport state migrates (TCP/media flows have nothing to do). Runs
+    // on the home shard, where the endpoints live.
+    for (auto& f : flows_)
+        if (f->spec.ue == ue) f->ep.on_path_switch();
     // Flush held packets in arrival order down the normal paths.
     auto dl = std::move(u.held_dl);
     u.held_dl.clear();
@@ -287,8 +293,17 @@ std::uint64_t topology::delivered_bytes(int flow) const
 
 std::uint64_t topology::flow_retransmits(int flow) const
 {
-    const flow_rt& f = flow_at(flow);
-    return f.ep.is_media ? 0 : f.ep.snd->retransmits();
+    return flow_at(flow).ep.transport_retransmits();
+}
+
+const media::frame_source* topology::frame_stats(int flow) const
+{
+    return flow_at(flow).ep.frame_stats();
+}
+
+const transport::quic_sender* topology::quic_flow(int flow) const
+{
+    return flow_at(flow).ep.qsnd.get();
 }
 
 int topology::home_cell(int ue) const

@@ -78,7 +78,11 @@ public:
     const stats::rate_series& goodput_series(int flow) const;
     double goodput_mbps(int flow) const;
     std::uint64_t delivered_bytes(int flow) const;
-    std::uint64_t flow_retransmits(int flow) const;  // TCP only
+    std::uint64_t flow_retransmits(int flow) const;  // TCP/QUIC data re-sends
+    // Interactive frame stats (nullptr unless the flow has fps > 0).
+    const media::frame_source* frame_stats(int flow) const;
+    // The QUIC engine behind a quic-* flow (nullptr otherwise).
+    const transport::quic_sender* quic_flow(int flow) const;
 
     // --- topology-level introspection ---
     int home_cell(int ue) const;

@@ -16,7 +16,8 @@ cc_ptr make_cc(const std::string& algorithm, std::uint32_t mss)
     if (algorithm == "prague") return std::make_unique<prague>(mss);
     if (algorithm == "bbr") return std::make_unique<bbr>(mss, false);
     if (algorithm == "bbr2") return std::make_unique<bbr>(mss, true);
-    throw std::invalid_argument("unknown congestion controller: " + algorithm);
+    throw std::invalid_argument("unknown congestion controller \"" + algorithm +
+                                "\" (valid: reno, cubic, prague, bbr, bbr2)");
 }
 
 }  // namespace l4span::transport

@@ -38,8 +38,15 @@ std::uint64_t tcp_sender::window() const
 bool tcp_sender::more_app_data() const
 {
     if (stopped_) return false;
+    if (cfg_.app_limited) return snd_nxt_ - 1 < app_limit_;
     if (cfg_.flow_bytes == 0) return true;
     return snd_nxt_ - 1 < cfg_.flow_bytes;
+}
+
+void tcp_sender::app_write(std::uint64_t bytes)
+{
+    app_limit_ += bytes;
+    if (established_) try_send();
 }
 
 void tcp_sender::try_send()
@@ -60,7 +67,10 @@ void tcp_sender::try_send()
             return;
         }
         std::uint32_t len = cfg_.mss;
-        if (cfg_.flow_bytes > 0)
+        if (cfg_.app_limited)
+            len = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(len, app_limit_ - (snd_nxt_ - 1)));
+        else if (cfg_.flow_bytes > 0)
             len = static_cast<std::uint32_t>(
                 std::min<std::uint64_t>(len, cfg_.flow_bytes - (snd_nxt_ - 1)));
         if (len == 0) break;
@@ -150,29 +160,14 @@ void tcp_sender::process_ack(const net::packet& pkt)
     // --- AccECN / classic ECN feedback extraction ---
     bool classic_ece = false;
     if (cc_->uses_accecn()) {
-        std::uint32_t ce_delta_bytes = 0;
+        std::uint64_t ce_delta_bytes = 0;
         if (h.accecn.present) {
-            if (have_prev_accecn_) {
-                ce_delta_bytes = (h.accecn.eceb - prev_eceb_) & 0xffffff;
-            } else {
-                ce_delta_bytes = 0;
-            }
-            prev_eceb_ = h.accecn.eceb;
-            have_prev_accecn_ = true;
+            ce_delta_bytes = eceb_tracker_.update(h.accecn.eceb);
         } else {
             // Fall back to the 3-bit ACE packet counter.
-            const std::uint32_t ace = h.ace();
-            const std::uint32_t delta = (ace - prev_ace_) & 0x7;
-            prev_ace_ = ace;
-            ce_delta_bytes = delta * cfg_.mss;
+            ce_delta_bytes = ace_tracker_.update(h.ace()) * cfg_.mss;
         }
-        if (ack > snd_una_) {
-            const std::uint64_t newly = ack - snd_una_;
-            s.ce_fraction =
-                std::min(1.0, static_cast<double>(ce_delta_bytes) / static_cast<double>(newly));
-        } else if (ce_delta_bytes > 0) {
-            s.ce_fraction = 1.0;
-        }
+        s.ce_fraction = ce_fraction(ce_delta_bytes, ack > snd_una_ ? ack - snd_una_ : 0);
     } else {
         classic_ece = h.flags.ece;
     }
@@ -230,7 +225,7 @@ void tcp_sender::process_ack(const net::packet& pkt)
     s.srtt = srtt_;
     s.in_flight = bytes_in_flight();
     s.ece = classic_ece;
-    s.app_limited = cfg_.flow_bytes > 0 && !more_app_data();
+    s.app_limited = (cfg_.flow_bytes > 0 || cfg_.app_limited) && !more_app_data();
 
     if (s.newly_acked > 0 || s.ce_fraction > 0.0) cc_->on_ack(s);
 
@@ -243,7 +238,9 @@ void tcp_sender::process_ack(const net::packet& pkt)
         }
     }
 
-    if (cfg_.flow_bytes > 0 && snd_una_ - 1 >= cfg_.flow_bytes && !finished_) {
+    // App-limited streams never "finish" — flow_bytes is a bulk-mode knob.
+    if (!cfg_.app_limited && cfg_.flow_bytes > 0 && snd_una_ - 1 >= cfg_.flow_bytes &&
+        !finished_) {
         finished_ = true;
         finish_time_ = now;
         if (rto_event_) loop_.cancel(rto_event_);
@@ -349,6 +346,7 @@ void tcp_receiver::on_packet(const net::packet& pkt)
             if (end > rcv_nxt_) rcv_nxt_ = end;
             it = ooo_.erase(it);
         }
+        if (on_deliver_) on_deliver_(rcv_nxt_ - 1, now);
     } else if (seq > rcv_nxt_) {
         ooo_[seq] = std::max(ooo_[seq], pkt.payload_bytes);
     }

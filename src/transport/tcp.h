@@ -18,6 +18,7 @@
 #include "stats/sample_set.h"
 #include "stats/timeseries.h"
 #include "transport/cc.h"
+#include "transport/ecn_feedback.h"
 
 namespace l4span::transport {
 
@@ -25,6 +26,9 @@ struct tcp_config {
     std::uint32_t mss = 1400;                    // payload bytes per segment
     std::uint64_t max_cwnd = 4ull << 20;         // receive-window clamp
     std::uint64_t flow_bytes = 0;                // 0 = unbounded (long-lived flow)
+    // Application-limited stream: data arrives only through app_write()
+    // (interactive frame sources); the flow never "finishes".
+    bool app_limited = false;
     sim::tick min_rto = sim::from_ms(200);
     sim::tick max_rto = sim::from_sec(60);
     net::five_tuple ft;                          // downlink direction (server->UE)
@@ -42,6 +46,9 @@ public:
     void start();
     // Stops transmitting new data (long-lived flow shutdown at scenario end).
     void stop() { stopped_ = true; }
+
+    // Appends `bytes` to the application stream (app_limited mode only).
+    void app_write(std::uint64_t bytes);
 
     // Receiver-to-sender path: SYNACK or ACK arrives.
     void on_packet(const net::packet& pkt);
@@ -107,12 +114,16 @@ private:
     bool in_recovery_ = false;
     std::uint64_t recovery_point_ = 0;
 
-    // ECN state.
+    // ECN state. The cumulative AccECN counters (24-bit byte option, 3-bit
+    // ACE packet field) are differentiated by the wrap-aware trackers shared
+    // with the QUIC engine (ecn_feedback.h).
     bool send_cwr_ = false;          // classic: echo CWR on next data segment
     sim::tick last_ecn_reaction_ = -1;
-    std::uint32_t prev_ace_ = 0;
-    std::uint32_t prev_eceb_ = 0;
-    bool have_prev_accecn_ = false;
+    ecn_counter_tracker eceb_tracker_{24};
+    ecn_counter_tracker ace_tracker_{3};
+
+    // App-limited stream bound (cumulative bytes written via app_write).
+    std::uint64_t app_limit_ = 0;
 
     // Delivery-rate estimation for BBR.
     std::uint64_t delivered_ = 0;
@@ -130,11 +141,16 @@ private:
 class tcp_receiver {
 public:
     using send_fn = std::function<void(net::packet)>;
+    // In-order delivered byte count after each advance (frame sources key
+    // per-frame completion off this).
+    using deliver_fn = std::function<void(std::uint64_t inorder_bytes, sim::tick)>;
 
     tcp_receiver(sim::event_loop& loop, tcp_config cfg, bool accecn, send_fn send_ack);
 
     // Data (or SYN) arriving at the client.
     void on_packet(const net::packet& pkt);
+
+    void set_deliver_handler(deliver_fn f) { on_deliver_ = std::move(f); }
 
     // --- stats ---
     std::uint64_t received_bytes() const { return rcv_nxt_ - 1; }
@@ -149,6 +165,7 @@ private:
     tcp_config cfg_;
     bool accecn_;
     send_fn send_;
+    deliver_fn on_deliver_;
 
     std::uint64_t rcv_nxt_ = 1;
     std::map<std::uint64_t, std::uint32_t> ooo_;  // seq -> len of out-of-order data

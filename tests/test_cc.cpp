@@ -1,9 +1,11 @@
-// Congestion-controller control laws, exercised directly (no network).
+// Congestion-controller control laws, exercised directly (no network), and
+// the ECN feedback arithmetic shared by the TCP and QUIC engines.
 #include <gtest/gtest.h>
 
 #include "transport/bbr.h"
 #include "transport/cc.h"
 #include "transport/cubic.h"
+#include "transport/ecn_feedback.h"
 #include "transport/prague.h"
 #include "transport/reno.h"
 
@@ -38,6 +40,65 @@ TEST(factory, builds_all_algorithms)
         EXPECT_GT(cc->cwnd(), 0u);
     }
     EXPECT_THROW(make_cc("vegas", kMss), std::invalid_argument);
+}
+
+TEST(factory, unknown_name_error_lists_valid_algorithms)
+{
+    try {
+        make_cc("vegas", kMss);
+        FAIL() << "make_cc must reject unknown algorithm names";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("vegas"), std::string::npos) << msg;
+        for (const char* name : {"reno", "cubic", "prague", "bbr", "bbr2"})
+            EXPECT_NE(msg.find(name), std::string::npos)
+                << "error must list valid name \"" << name << "\": " << msg;
+    }
+}
+
+// --- shared ECN feedback arithmetic (transport/ecn_feedback.h) ---------------
+
+TEST(ecn_feedback, first_report_establishes_baseline_without_spurious_delta)
+{
+    // The AccECN ACE field starts at 5 per the draft; a fresh tracker must
+    // not turn that initial value into a phantom CE burst.
+    ecn_counter_tracker t(3);
+    EXPECT_EQ(t.update(5), 0u);
+    EXPECT_EQ(t.update(6), 1u);
+    EXPECT_EQ(t.update(6), 0u);
+}
+
+TEST(ecn_feedback, ace_3bit_counter_wraps)
+{
+    ecn_counter_tracker t(3);
+    t.update(6);
+    EXPECT_EQ(t.update(1), 3u);  // 6 -> 7,0,1 across the 3-bit wrap
+    EXPECT_EQ(t.update(0), 7u);  // full-cycle-minus-one wrap
+}
+
+TEST(ecn_feedback, accecn_24bit_byte_counter_wraps)
+{
+    ecn_counter_tracker t(24);
+    t.update(0xfffffa);
+    EXPECT_EQ(t.update(0x000010), 0x16u);  // 6 bytes to the wrap + 0x10 past it
+    // Values above 24 bits are masked like the wire field would be.
+    t.update(0);
+    EXPECT_EQ(t.update(0x1000005), 5u);
+}
+
+TEST(ecn_feedback, quic_64bit_counters_do_not_wrap_in_practice)
+{
+    ecn_counter_tracker t(64);
+    t.update(1ull << 40);
+    EXPECT_EQ(t.update((1ull << 40) + 123), 123u);
+}
+
+TEST(ecn_feedback, ce_fraction_clamps_and_handles_zero_acked)
+{
+    EXPECT_DOUBLE_EQ(ce_fraction(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ce_fraction(7, 0), 1.0);   // CE progress, no ack progress
+    EXPECT_DOUBLE_EQ(ce_fraction(500, 1000), 0.5);
+    EXPECT_DOUBLE_EQ(ce_fraction(2000, 1000), 1.0);  // skew can't exceed 100%
 }
 
 TEST(factory, ecn_codepoints_match_l4s_identifiers)

@@ -1,0 +1,168 @@
+// media::frame_source: frame cadence, keyframe sizing, completion
+// accounting in both byte-stream (TCP) and frame-per-stream (QUIC) modes,
+// and the interactive-over-TCP glue in a single cell.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "media/frame_source.h"
+#include "scenario/cell_scenario.h"
+
+using namespace l4span;
+using namespace l4span::media;
+
+namespace {
+
+struct recorded_frame {
+    std::uint64_t id;
+    std::uint32_t bytes;
+};
+
+}  // namespace
+
+TEST(frame_source, paces_frames_at_fps_with_keyframe_bursts)
+{
+    sim::event_loop loop;
+    frame_source_config cfg;
+    cfg.fps = 30.0;
+    cfg.bitrate_bps = 2.4e6;  // 10 kB/frame at 30 fps before keyframe scaling
+    cfg.keyframe_interval_s = 1.0;
+    cfg.keyframe_scale = 4.0;
+    std::vector<recorded_frame> frames;
+    frame_source src(loop, cfg,
+                     [&](std::uint64_t id, std::uint32_t bytes) {
+                         frames.push_back({id, bytes});
+                     });
+    src.start();
+    loop.run_until(sim::from_ms(1990));  // frames at t = 0 .. 1966.7 ms
+
+    ASSERT_EQ(frames.size(), 60u);  // 2 s of content at 30 fps
+    EXPECT_EQ(src.frames_sent(), 60u);
+    // Frames 1 and 31 are keyframes, scale x the delta size.
+    EXPECT_EQ(frames[0].bytes, frames[30].bytes);
+    EXPECT_EQ(frames[0].bytes, 4 * frames[1].bytes);
+    for (std::size_t i = 1; i < 30; ++i) EXPECT_EQ(frames[i].bytes, frames[1].bytes);
+    // Long-term average respects the bitrate target (integer rounding only).
+    const double avg_bps = static_cast<double>(src.bytes_generated()) * 8.0 / 2.0;
+    EXPECT_NEAR(avg_bps, 2.4e6, 2.4e4);
+}
+
+TEST(frame_source, byte_stream_completion_and_stall_accounting)
+{
+    sim::event_loop loop;
+    frame_source_config cfg;
+    cfg.fps = 10.0;
+    cfg.bitrate_bps = 0.8e6;  // 10 kB per frame
+    cfg.keyframe_interval_s = 0.0;
+    cfg.deadline = sim::from_ms(50);
+    frame_source src(loop, cfg, [](std::uint64_t, std::uint32_t) {});
+    src.start();
+    loop.run_until(sim::from_ms(450));  // frames at 0,100,...,400 generated
+    EXPECT_EQ(src.frames_sent(), 5u);
+
+    // Frames 1-2 complete 30 ms after generation; frame 3 limps in late.
+    src.on_bytes_delivered(20000, sim::from_ms(130));
+    EXPECT_EQ(src.frames_completed(), 2u);
+    EXPECT_EQ(src.stalled_frames(), 1u);  // frame 1: 130 ms > 50 ms budget
+    src.on_bytes_delivered(30000, sim::from_ms(230));
+    EXPECT_EQ(src.frames_completed(), 3u);
+    EXPECT_EQ(src.stalled_frames(), 1u);  // frame 3 made it at +30 ms
+    EXPECT_NEAR(src.frame_owd_ms().max(), 130.0, 1e-9);
+    EXPECT_NEAR(src.stall_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(frame_source, frame_mode_completes_out_of_order)
+{
+    sim::event_loop loop;
+    frame_source_config cfg;
+    cfg.fps = 20.0;
+    cfg.bitrate_bps = 1.6e6;
+    cfg.keyframe_interval_s = 0.0;
+    frame_source src(loop, cfg, [](std::uint64_t, std::uint32_t) {});
+    src.start();
+    loop.run_until(sim::from_ms(160));
+    ASSERT_GE(src.frames_sent(), 3u);
+
+    src.on_frame_complete(2, sim::from_ms(80));   // frame 2 first (1 lost a pkt)
+    src.on_frame_complete(1, sim::from_ms(120));
+    src.on_frame_complete(99, sim::from_ms(130));  // unknown id: ignored
+    EXPECT_EQ(src.frames_completed(), 2u);
+    EXPECT_NEAR(src.frame_owd_ms().median(), (30.0 + 120.0) / 2.0, 1e-6);
+}
+
+TEST(frame_source, interactive_over_tcp_in_a_cell_records_frame_owd)
+{
+    scenario::cell_spec cell;
+    cell.num_ues = 1;
+    cell.channel = "static";
+    cell.cu = scenario::cu_mode::l4span;
+    cell.seed = 3;
+    scenario::cell_scenario s(cell);
+    scenario::flow_spec f;
+    f.cca = "prague";
+    f.ue = 0;
+    f.fps = 60.0;
+    f.frame_bitrate_bps = 4e6;
+    f.frame_deadline_ms = 100.0;
+    const int h = s.add_flow(f);
+    s.run(sim::from_sec(2));
+
+    const media::frame_source* fr = s.frame_stats(h);
+    ASSERT_NE(fr, nullptr);
+    EXPECT_GT(fr->frames_completed(), 100u);
+    // A handful of frames stall while the handshake + slow start warm up;
+    // steady state must stay clean.
+    EXPECT_LT(fr->stall_fraction(), 0.10);
+    // App-limited: delivery tracks the source rate, not the cell capacity.
+    EXPECT_GT(s.delivered_bytes(h), 600'000u);
+    EXPECT_LT(s.delivered_bytes(h), 1'500'000u);
+}
+
+TEST(frame_source, interactive_flow_is_long_lived_even_with_flow_bytes_set)
+{
+    // flow_bytes is a bulk-mode knob: an interactive (fps > 0) flow must
+    // not freeze mid-stream once the acked bytes pass it.
+    scenario::cell_spec cell;
+    cell.num_ues = 1;
+    cell.channel = "static";
+    cell.cu = scenario::cu_mode::l4span;
+    cell.seed = 3;
+    scenario::cell_scenario s(cell);
+    scenario::flow_spec f;
+    f.cca = "prague";
+    f.ue = 0;
+    f.fps = 60.0;
+    f.frame_bitrate_bps = 4e6;
+    f.flow_bytes = 50'000;  // passed within the first few frames
+    const int h = s.add_flow(f);
+    s.run(sim::from_sec(2));
+    EXPECT_LT(s.fct_ms(h), 0.0) << "interactive flows never report an FCT";
+    EXPECT_GT(s.delivered_bytes(h), 600'000u) << "delivery continued past flow_bytes";
+    const media::frame_source* fr = s.frame_stats(h);
+    ASSERT_NE(fr, nullptr);
+    EXPECT_GT(fr->frames_completed(), 100u);
+}
+
+TEST(frame_source, interactive_over_quic_in_a_cell)
+{
+    scenario::cell_spec cell;
+    cell.num_ues = 1;
+    cell.channel = "static";
+    cell.cu = scenario::cu_mode::l4span;
+    cell.seed = 3;
+    scenario::cell_scenario s(cell);
+    scenario::flow_spec f;
+    f.cca = "quic-prague";
+    f.ue = 0;
+    f.fps = 60.0;
+    f.frame_bitrate_bps = 4e6;
+    f.frame_deadline_ms = 100.0;
+    const int h = s.add_flow(f);
+    s.run(sim::from_sec(2));
+
+    const media::frame_source* fr = s.frame_stats(h);
+    ASSERT_NE(fr, nullptr);
+    EXPECT_GT(fr->frames_completed(), 100u);
+    EXPECT_LT(fr->stall_fraction(), 0.10);  // startup transient only
+    EXPECT_EQ(s.flow_retransmits(h), 0u);
+}
