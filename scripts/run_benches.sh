@@ -60,7 +60,7 @@ fi
 grid_benches="bench_fig09_tcp_grid bench_fig13_video bench_fig14_fairness \
 bench_fig16_shared_drb bench_fig17_queue_cdf bench_fig18_coherence \
 bench_fig19_threshold bench_fig24_bbr_reno bench_mc_handover \
-bench_quic_interactive bench_tab1_overhead"
+bench_quic_interactive bench_tab1_overhead bench_trace_replay"
 
 is_grid_bench() {
     for g in $grid_benches; do
@@ -82,9 +82,14 @@ for bin in "$build_dir"/bench_*; do
         case "$name" in
             bench_mc_handover) fig=mc_handover ;;
             bench_quic_interactive) fig=quic_interactive ;;
+            bench_trace_replay) fig=trace_replay ;;
             *) fig=$(echo "$name" | cut -d_ -f2) ;;
         esac
         set -- $quick --json "$out_dir/BENCH_$fig.json"
+        # The replay grid runs from the committed NR-Scope-style traces.
+        if [ "$name" = "bench_trace_replay" ]; then
+            set -- "$@" --trace-dir "$repo_root/traces"
+        fi
         if [ "$jobs" -gt 0 ] 2>/dev/null; then
             set -- "$@" --jobs "$jobs"
         fi

@@ -1,37 +1,15 @@
 // Per-UE wireless channel: a Gauss-Markov shadowed SNR process whose
-// correlation time equals the channel coherence time.
-//
-// The paper's evaluation drives the Amarisoft emulator with static,
-// pedestrian and vehicular profiles; we reproduce those knobs. The
-// vehicular coherence time (24.9 ms at 3.5 GHz / 70 km/h) matches the
-// measurement the paper adopts from Wang et al. [78]; slower motion scales
-// coherence inversely with speed.
+// correlation time equals the channel coherence time. Implements
+// chan::link_model (the channel_profile knobs live in link_model.h).
 #pragma once
 
-#include <string>
-
+#include "chan/link_model.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 
 namespace l4span::chan {
 
-struct channel_profile {
-    std::string name;
-    double mean_snr_db = 22.0;
-    double sigma_db = 0.0;        // stddev of the SNR process
-    sim::tick coherence = 0;      // correlation time of the process (0 = static)
-
-    static channel_profile static_channel(double mean_snr_db = 13.0);
-    static channel_profile pedestrian(double mean_snr_db = 12.5);  // 3 km/h
-    static channel_profile vehicular(double mean_snr_db = 12.0);   // 70 km/h
-    // "Mobile" in Fig. 9 combines pedestrian- and vehicular-speed channels.
-    static channel_profile mobile(double mean_snr_db = 12.2);
-};
-
-// Measured vehicular coherence time at 3.5 GHz / 70 km/h [78].
-inline constexpr sim::tick k_vehicular_coherence = sim::from_ms(24.9);
-
-class fading_channel {
+class fading_channel final : public link_model {
 public:
     fading_channel(channel_profile profile, sim::rng rng)
         : profile_(std::move(profile)), rng_(std::move(rng)), snr_db_(profile_.mean_snr_db)
@@ -39,9 +17,9 @@ public:
     }
 
     // SNR at time `t`; advances the process (t must be non-decreasing).
-    double snr_db(sim::tick t);
+    double snr_db(sim::tick t) override;
 
-    const channel_profile& profile() const { return profile_; }
+    const channel_profile& profile() const override { return profile_; }
 
 private:
     channel_profile profile_;

@@ -1,0 +1,61 @@
+// Per-UE link-quality source: the one interface the gNB scheduler consults
+// each DL slot. Two implementations exist — `chan::fading_channel` (the
+// synthetic Gauss-Markov SNR process) and `chan::trace_channel` (NR-Scope
+// style DCI replay) — so every scenario knob that selects a channel selects
+// a link model, and trace-driven and model-driven runs share the whole
+// stack above this line.
+#pragma once
+
+#include <string>
+
+#include "chan/mcs.h"
+#include "sim/time.h"
+
+namespace l4span::chan {
+
+// The paper's evaluation drives the Amarisoft emulator with static,
+// pedestrian and vehicular profiles; we reproduce those knobs. The
+// vehicular coherence time (24.9 ms at 3.5 GHz / 70 km/h) matches the
+// measurement the paper adopts from Wang et al. [78]; slower motion scales
+// coherence inversely with speed.
+struct channel_profile {
+    std::string name;
+    double mean_snr_db = 22.0;
+    double sigma_db = 0.0;        // stddev of the SNR process
+    sim::tick coherence = 0;      // correlation time of the process (0 = static)
+
+    static channel_profile static_channel(double mean_snr_db = 13.0);
+    static channel_profile pedestrian(double mean_snr_db = 12.5);  // 3 km/h
+    static channel_profile vehicular(double mean_snr_db = 12.0);   // 70 km/h
+    // "Mobile" in Fig. 9 combines pedestrian- and vehicular-speed channels.
+    static channel_profile mobile(double mean_snr_db = 12.2);
+};
+
+// Measured vehicular coherence time at 3.5 GHz / 70 km/h [78].
+inline constexpr sim::tick k_vehicular_coherence = sim::from_ms(24.9);
+
+class link_model {
+public:
+    virtual ~link_model() = default;
+
+    // SNR at time `t`; advances the model (t must be non-decreasing; an
+    // earlier t returns the current value without rewinding).
+    virtual double snr_db(sim::tick t) = 0;
+
+    // MCS at time `t`. A fading model derives it from the SNR process; a
+    // trace replays the recorded DCI value directly.
+    virtual int mcs(sim::tick t) { return mcs_from_snr(snr_db(t)); }
+
+    // Per-slot cap on schedulable new-transmission PRBs (a DCI replay is
+    // bounded by the allocation the real cell granted); -1 = no cap.
+    virtual int prb_cap(sim::tick) { return -1; }
+
+    virtual const channel_profile& profile() const = 0;
+
+    // True when the model's state must ride the X2/Xn handover context so
+    // replay continues where it left off (trace cursor); false means the
+    // target cell re-draws a fresh realization from profile().
+    virtual bool migrates_on_handover() const { return false; }
+};
+
+}  // namespace l4span::chan

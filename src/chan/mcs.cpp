@@ -40,6 +40,13 @@ double spectral_efficiency(int mcs)
     return k_table[static_cast<std::size_t>(mcs)].spectral_efficiency;
 }
 
+double min_snr_db(int mcs)
+{
+    if (mcs < 0) return k_table[0].min_snr_db - 1.5;  // below MCS0: no tx
+    if (mcs >= k_num_mcs) mcs = k_num_mcs - 1;
+    return k_table[static_cast<std::size_t>(mcs)].min_snr_db;
+}
+
 std::uint32_t tbs_bytes(int mcs, int n_prb, double overhead)
 {
     if (mcs < 0 || n_prb <= 0) return 0;

@@ -23,6 +23,11 @@ int mcs_from_snr(double snr_db);
 
 double spectral_efficiency(int mcs);
 
+// Lowest SNR at which `mcs` is selected (the table threshold); for -1 (no
+// transmission) a value strictly below the MCS0 threshold. Inverse of
+// mcs_from_snr in the sense that mcs_from_snr(min_snr_db(m)) == m.
+double min_snr_db(int mcs);
+
 // Bytes carried by `n_prb` PRBs in one slot at `mcs`.
 // 12 subcarriers x 14 symbols = 168 REs per PRB-slot, with `overhead`
 // (DMRS + control) removed.

@@ -12,10 +12,25 @@ gnb::gnb(sim::event_loop& loop, gnb_config cfg, sim::rng rng)
 
 rnti_t gnb::add_ue(chan::channel_profile profile)
 {
+    return add_ue_impl(
+        std::make_unique<chan::fading_channel>(std::move(profile), rng_.fork()));
+}
+
+rnti_t gnb::add_ue(std::unique_ptr<chan::link_model> link)
+{
+    // A trace-driven link draws no channel randomness of its own; consume
+    // the same single fork the fading path does so the gNB's HARQ/uplink
+    // RNG stream stays aligned between a recorded run and its replay.
+    (void)rng_.fork();
+    return add_ue_impl(std::move(link));
+}
+
+rnti_t gnb::add_ue_impl(std::unique_ptr<chan::link_model> link)
+{
     auto ue = std::make_unique<ue_ctx>(ue_ctx{
         next_rnti_,
         static_cast<std::uint32_t>(ues_.size()),
-        chan::fading_channel(std::move(profile), rng_.fork()),
+        std::move(link),
         sdap_entity{},
         {},
         {},
@@ -92,7 +107,10 @@ ue_handover_context gnb::detach_ue(rnti_t ue)
 {
     ue_ctx& u = find_ue(ue);
     ue_handover_context ctx;
-    ctx.profile = u.channel.profile();
+    ctx.profile = u.channel->profile();
+    // A trace replay's cursor must continue at the target cell; a fading
+    // realization is re-drawn there (new cell, new radio link).
+    if (u.channel->migrates_on_handover()) ctx.link = std::move(u.channel);
     ctx.qfi_map = u.sdap.export_mappings();
     for (auto& d : u.drbs) {
         ue_handover_context::drb_context dc;
@@ -114,7 +132,7 @@ ue_handover_context gnb::detach_ue(rnti_t ue)
 
 rnti_t gnb::attach_ue(ue_handover_context ctx)
 {
-    const rnti_t rnti = add_ue(ctx.profile);
+    const rnti_t rnti = ctx.link ? add_ue(std::move(ctx.link)) : add_ue(ctx.profile);
     ue_ctx& u = find_ue(rnti);
     for (auto& dc : ctx.drbs) {
         const drb_id_t id = add_drb(rnti, dc.cfg);
@@ -230,28 +248,38 @@ void gnb::on_slot()
         // Collect backlogged UEs and their current link quality.
         std::vector<sched_input> inputs;
         std::vector<ue_ctx*> who;
+        std::vector<int> mcs_of;  // per-`who` entry, for the DCI link log
         const double eff_re = 168.0 * (1.0 - 0.14) * cap_factor;
         for (auto& u : ues_) {
             if (!u->active) continue;  // detached tombstone: no bearers
             std::uint64_t backlog = 0;
             for (auto& d : u->drbs) backlog += d.tx->backlog_bytes();
             if (backlog == 0) continue;
-            const double snr = u->channel.snr_db(now);
-            const int mcs = chan::mcs_from_snr(snr);
-            if (mcs < 0) continue;
+            const int mcs = u->channel->mcs(now);
+            if (mcs < 0) {
+                // Below MCS0: the query still happened, so a recording must
+                // carry it for the replay to consult the trace identically.
+                if (on_linklog_) on_linklog_(u->rnti, now, mcs, 0, 0);
+                continue;
+            }
             sched_input si;
             si.ue_index = u->index;
             si.backlog_bytes = backlog;
             si.bytes_per_prb = eff_re * chan::spectral_efficiency(mcs) / 8.0;
             inputs.push_back(si);
             who.push_back(u.get());
+            mcs_of.push_back(mcs);
         }
 
         const std::vector<int> grants = allocator_.allocate(inputs, available_prb);
 
         for (std::size_t i = 0; i < who.size(); ++i) {
             ue_ctx& u = *who[i];
-            const int prbs = grants[i];
+            int prbs = grants[i];
+            // A DCI replay cannot grant more PRBs than the recorded slot
+            // carried; fading channels return -1 (no cap).
+            const int cap = u.channel->prb_cap(now);
+            if (cap >= 0 && prbs > cap) prbs = cap;
             double served = 0.0;
             if (prbs > 0) {
                 std::uint32_t grant_bytes =
@@ -283,6 +311,9 @@ void gnb::on_slot()
                 }
             }
             allocator_.update_average(u.index, served);
+            if (on_linklog_)
+                on_linklog_(u.rnti, now, mcs_of[i], prbs,
+                            static_cast<std::uint32_t>(served));
         }
         // UEs not considered this slot (no backlog) still age their PF average.
         considered_scratch_.assign(ues_.size(), 0);
@@ -352,7 +383,7 @@ const rlc_tx& gnb::rlc(rnti_t ue, drb_id_t drb) const
 
 double gnb::current_snr_db(rnti_t ue)
 {
-    return find_ue(ue).channel.snr_db(loop_.now());
+    return find_ue(ue).channel->snr_db(loop_.now());
 }
 
 int gnb::current_mcs(rnti_t ue)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "chan/fading.h"
+#include "chan/link_model.h"
 #include "chan/mcs.h"
 #include "net/packet.h"
 #include "ran/cu_hook.h"
@@ -35,6 +36,10 @@ struct gnb_config {
 // the hook; the gNB only carries it).
 struct ue_handover_context {
     chan::channel_profile profile;
+    // Set when the source UE's link model migrates with it (a trace-driven
+    // channel carries its replay cursor); empty for fading channels, whose
+    // realization the target cell re-draws from `profile`.
+    std::unique_ptr<chan::link_model> link;
     struct drb_context {
         drb_id_t id = 0;
         rlc_config cfg;
@@ -55,11 +60,22 @@ public:
     using uplink_handler = std::function<void(rnti_t, net::packet, sim::tick)>;
     // (ue, drb, bytes, now): ground-truth MAC transmission log (Fig. 20).
     using txlog_handler = std::function<void(rnti_t, drb_id_t, std::uint32_t, sim::tick)>;
+    // (ue, now, mcs, prbs, tb_bytes): per-slot DCI/link-adaptation log, one
+    // call per scheduler channel query — exactly the stream a trace replay
+    // must reproduce (mcs is -1 when the UE was below MCS0 and skipped).
+    // Plug chan::trace_recorder::on_link_slot here to capture a run.
+    using linklog_handler =
+        std::function<void(rnti_t, sim::tick, int, int, std::uint32_t)>;
 
     gnb(sim::event_loop& loop, gnb_config cfg, sim::rng rng);
 
     // --- topology construction ---
+    // Fading channel drawn from `profile`, or an explicit link model (e.g.
+    // a chan::trace_channel). Either way the UE consumes exactly one fork
+    // of the gNB RNG, so a fading run and its trace replay draw identical
+    // HARQ/uplink randomness — the record→replay bit-identity contract.
     rnti_t add_ue(chan::channel_profile profile);
+    rnti_t add_ue(std::unique_ptr<chan::link_model> link);
     drb_id_t add_drb(rnti_t ue, rlc_config cfg);
     void map_qos_flow(rnti_t ue, qfi_t qfi, drb_id_t drb);
 
@@ -78,6 +94,7 @@ public:
     void set_deliver_handler(deliver_handler h) { on_deliver_ = std::move(h); }
     void set_uplink_handler(uplink_handler h) { on_uplink_ = std::move(h); }
     void set_txlog_handler(txlog_handler h) { on_txlog_ = std::move(h); }
+    void set_linklog_handler(linklog_handler h) { on_linklog_ = std::move(h); }
 
     // Starts the slot clock. Call once after all UEs are added.
     void start();
@@ -121,7 +138,7 @@ private:
     struct ue_ctx {
         rnti_t rnti;
         std::uint32_t index;  // dense scheduler index
-        chan::fading_channel channel;
+        std::unique_ptr<chan::link_model> channel;
         sdap_entity sdap;
         std::vector<drb_ctx> drbs;
         std::vector<harq_tb> pending_retx;  // due HARQ retransmissions
@@ -131,6 +148,7 @@ private:
         bool active = true;
     };
 
+    rnti_t add_ue_impl(std::unique_ptr<chan::link_model> link);
     void on_slot();
     void transmit_tb(ue_ctx& ue, drb_ctx& drb, std::vector<tb_chunk> chunks,
                      std::uint32_t bytes, int prbs, int attempt);
@@ -153,6 +171,7 @@ private:
     deliver_handler on_deliver_;
     uplink_handler on_uplink_;
     txlog_handler on_txlog_;
+    linklog_handler on_linklog_;
     rlc_tx::delay_handler on_delay_;
     rnti_t next_rnti_ = 1;
     std::uint64_t slot_count_ = 0;

@@ -43,10 +43,32 @@ chan::channel_profile channel_by_name(const std::string& name, std::uint64_t var
         p = (variant % 2 == 0) ? chan::channel_profile::pedestrian()
                                : chan::channel_profile::vehicular();
         p.name = "mobile";
+    } else if (name == "trace") {
+        throw std::invalid_argument(
+            "channel \"trace\" is not a fading profile — assign per-UE DCI "
+            "traces via cell_spec.ue_traces (chan::load_trace_file or "
+            "chan::synth_trace) and the cell builds trace_channels");
     } else {
-        throw std::invalid_argument("unknown channel profile: " + name);
+        throw std::invalid_argument(
+            "unknown channel profile: " + name +
+            " (valid: static, pedestrian, vehicular, mobile, trace)");
     }
     return p;
+}
+
+std::unique_ptr<chan::link_model> make_ue_link(const cell_spec& spec,
+                                               std::uint64_t variant)
+{
+    if (spec.channel != "trace")
+        return nullptr;  // caller draws a fading channel from the profile
+    if (spec.ue_traces.empty())
+        throw std::invalid_argument(
+            "cell channel is \"trace\" but cell_spec.ue_traces is empty — add "
+            "at least one chan::trace_config (data from chan::load_trace_file "
+            "or chan::synth_trace; knobs: loop, offset, time_scale)");
+    const auto& cfg = spec.ue_traces[static_cast<std::size_t>(
+        variant % spec.ue_traces.size())];
+    return std::make_unique<chan::trace_channel>(cfg);  // ctor validates cfg
 }
 
 // --- flow endpoints ---------------------------------------------------------
@@ -286,8 +308,10 @@ cell::~cell() = default;
 
 ran::rnti_t cell::add_ue(std::uint64_t variant)
 {
-    const auto profile = channel_by_name(spec_.channel, variant);
-    const ran::rnti_t rnti = gnb_->add_ue(profile);
+    auto link = make_ue_link(spec_, variant);
+    const ran::rnti_t rnti =
+        link ? gnb_->add_ue(std::move(link))
+             : gnb_->add_ue(channel_by_name(spec_.channel, variant));
 
     ran::rlc_config rlc;
     rlc.mode = spec_.rlc_mode;
@@ -400,6 +424,11 @@ void cell::set_deliver_handler(ran::gnb::deliver_handler h)
 void cell::set_uplink_handler(ran::gnb::uplink_handler h)
 {
     gnb_->set_uplink_handler(std::move(h));
+}
+
+void cell::set_linklog_handler(ran::gnb::linklog_handler h)
+{
+    gnb_->set_linklog_handler(std::move(h));
 }
 
 const stats::sample_set& cell::rlc_queue_sdus(ran::rnti_t ue) const

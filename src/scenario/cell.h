@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "chan/trace_channel.h"
 #include "core/l4span.h"
 #include "media/frame_source.h"
 #include "media/media.h"
@@ -35,7 +36,12 @@ enum class cu_mode : std::uint8_t {
 
 struct cell_spec {
     int num_ues = 1;
-    std::string channel = "static";  // static | pedestrian | vehicular | mobile
+    // static | pedestrian | vehicular | mobile | trace (DCI replay).
+    std::string channel = "static";
+    // Trace-driven channels: with channel == "trace", UE i replays
+    // ue_traces[i % ue_traces.size()] (per-UE loop/offset/time-scale knobs
+    // live in chan::trace_config). Validated with actionable errors.
+    std::vector<chan::trace_config> ue_traces;
     std::size_t rlc_queue_sdus = 16384;  // srsRAN default; the paper also uses 256
     ran::rlc_mode rlc_mode = ran::rlc_mode::am;
     ran::sched_policy sched = ran::sched_policy::round_robin;
@@ -79,8 +85,17 @@ struct flow_spec {
     double frame_deadline_ms = 50.0;
 };
 
-// Maps the paper's channel labels to profiles.
+// Maps the paper's channel labels to profiles. "trace" is rejected here
+// with a pointer at cell_spec.ue_traces (a trace is data, not a profile);
+// unknown names list the valid options.
 chan::channel_profile channel_by_name(const std::string& name, std::uint64_t variant = 0);
+
+// The link model for UE `variant` of `spec`: a trace_channel when the spec
+// says "trace" (validating the assignment), else a fading channel profile
+// resolved through channel_by_name. Throws std::invalid_argument with the
+// valid options on any misconfiguration.
+std::unique_ptr<chan::link_model> make_ue_link(const cell_spec& spec,
+                                               std::uint64_t variant);
 
 bool is_l4s_cca(const std::string& cca);
 bool is_media_cca(const std::string& cca);
@@ -168,6 +183,10 @@ public:
 
     void set_deliver_handler(ran::gnb::deliver_handler h);
     void set_uplink_handler(ran::gnb::uplink_handler h);
+    // Per-slot DCI log (chan::trace_recorder plugs in here). Fires on this
+    // cell's loop thread: in a sharded topology record with jobs=1 or use
+    // one recorder per cell.
+    void set_linklog_handler(ran::gnb::linklog_handler h);
 
     // --- instrumentation ---
     ran::gnb& gnb() { return *gnb_; }

@@ -71,9 +71,14 @@ bench_args parse_bench_args(int argc, char** argv)
             args.json_path = argv[++i];
         } else if (a.rfind("--json=", 0) == 0) {
             args.json_path = a.substr(7);
+        } else if (a == "--trace-dir" && i + 1 < argc) {
+            args.trace_dir = argv[++i];
+        } else if (a.rfind("--trace-dir=", 0) == 0) {
+            args.trace_dir = a.substr(12);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--jobs N] [--quick] [--json PATH]\n"
+                         "usage: %s [--jobs N] [--quick] [--json PATH] "
+                         "[--trace-dir DIR]\n"
                          "unknown argument: %s\n",
                          argv[0], a.c_str());
             std::exit(2);

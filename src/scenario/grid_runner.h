@@ -61,11 +61,13 @@ struct bench_args {
     int jobs = 0;            // --jobs N (0 → default_jobs())
     bool quick = false;      // --quick: tiny grid slice for CI perf-smoke
     std::string json_path;   // --json PATH: write the per-figure summary
+    std::string trace_dir;   // --trace-dir DIR: replay DCI traces from DIR
+                             // (bench_trace_replay, bench_fig18_coherence)
 };
 
-// Parses --jobs N / --quick / --json PATH (and -jN). Unknown arguments are
-// rejected with a usage message on stderr and exit(2) so a typo can't
-// silently run the full multi-minute grid.
+// Parses --jobs N / --quick / --json PATH / --trace-dir DIR (and -jN).
+// Unknown arguments are rejected with a usage message on stderr and
+// exit(2) so a typo can't silently run the full multi-minute grid.
 bench_args parse_bench_args(int argc, char** argv);
 
 }  // namespace l4span::scenario
