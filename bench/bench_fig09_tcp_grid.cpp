@@ -28,10 +28,11 @@ struct grid_point {
     bool on;
 };
 
-benchutil::tcp_grid_result run_cell(const grid_point& p, sim::tick duration)
+benchutil::tcp_grid_result run_cell(const grid_point& p, sim::tick duration,
+                                    bool impair_noop)
 {
     return benchutil::run_tcp_grid_cell(p.cca, p.ues, p.queue, p.rtt, p.chan, p.on,
-                                        1000, duration);
+                                        1000, duration, impair_noop);
 }
 
 }  // namespace
@@ -68,8 +69,10 @@ int main(int argc, char** argv)
     scenario::grid_runner pool(args.jobs);
     std::fprintf(stderr, "fig09: %zu grid points on %d worker(s)\n", points.size(),
                  pool.jobs());
-    const auto results = pool.map(
-        points.size(), [&](std::size_t i) { return run_cell(points[i], duration); });
+    const auto results =
+        pool.map(points.size(), [&](std::size_t i) {
+            return run_cell(points[i], duration, args.impair_noop);
+        });
 
     auto summary = stats::json::object();
     summary.set("figure", "fig09").set("quick", args.quick);

@@ -49,7 +49,7 @@ struct point_result {
     double background_mbps = 0.0;
 };
 
-point_result run_point(const grid_point& p, sim::tick duration)
+point_result run_point(const grid_point& p, sim::tick duration, bool impair_noop)
 {
     scenario::topology_spec spec;
     spec.num_cells = 2;
@@ -57,6 +57,9 @@ point_result run_point(const grid_point& p, sim::tick duration)
     spec.cell.cu = scenario::cu_mode::l4span;
     spec.cell.channel = "mobile";
     spec.cell.seed = 61;
+    // Pass-through fast-path check: all-off stages must not change results.
+    spec.cell.impair_dl.force_stage = impair_noop;
+    spec.cell.impair_ul.force_stage = impair_noop;
     spec.jobs = 1;  // grid-level parallelism only: points stay byte-identical
     scenario::topology topo(spec);
 
@@ -124,7 +127,7 @@ int main(int argc, char** argv)
     std::fprintf(stderr, "quic_interactive: %zu points over %d worker(s)\n",
                  points.size(), pool.jobs());
     const auto results = pool.map(points.size(), [&](std::size_t i) {
-        return run_point(points[i], duration);
+        return run_point(points[i], duration, args.impair_noop);
     });
 
     auto summary = stats::json::object();

@@ -22,7 +22,8 @@ struct tcp_grid_result {
 inline tcp_grid_result run_tcp_grid_cell(const std::string& cca, int ues,
                                          std::size_t queue, double wired_owd_ms,
                                          const std::string& chan, bool l4span_on,
-                                         std::uint64_t seed_base, sim::tick duration)
+                                         std::uint64_t seed_base, sim::tick duration,
+                                         bool impair_noop = false)
 {
     scenario::cell_spec cell;
     cell.num_ues = ues;
@@ -30,6 +31,10 @@ inline tcp_grid_result run_tcp_grid_cell(const std::string& cca, int ues,
     cell.rlc_queue_sdus = queue;
     cell.cu = l4span_on ? scenario::cu_mode::l4span : scenario::cu_mode::none;
     cell.seed = seed_base + static_cast<std::uint64_t>(ues) + queue;
+    // Pass-through fast-path check: mount all-off impairment stages on both
+    // directions; results must be byte-identical to running without them.
+    cell.impair_dl.force_stage = impair_noop;
+    cell.impair_ul.force_stage = impair_noop;
     scenario::cell_scenario s(cell);
     std::vector<int> handles;
     for (int u = 0; u < ues; ++u) {

@@ -132,9 +132,15 @@ bool l4span::on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb_id
 
     if (pkt.is_tcp() && cfg_.short_circuit) {
         // Tentative mark: bookkeeping only; the signal is injected into the
-        // uplink ACK stream (§4.4), skipping the RLC queue's sojourn.
-        if (hit) {
-            ++marks_;
+        // uplink ACK stream (§4.4), skipping the RLC queue's sojourn. The
+        // bookkeeping mirrors what an honest AccECN receiver would count, so
+        // it keys off the codepoint that actually arrived: a CU mark needs
+        // ECT (a path that stripped the field gets no CE invented for it,
+        // and the sender's ECN validation can notice), and upstream CE — a
+        // core AQM marked before the RAN — is passed through as CE feedback
+        // rather than miscounted as ECT bytes.
+        if (pkt.ecn_field == net::ecn::ce || (hit && net::is_ect(pkt.ecn_field))) {
+            if (pkt.ecn_field != net::ecn::ce) ++marks_;
             if (flow.accecn) {
                 flow.ce_pkts += 1;
                 flow.ce_bytes += pkt.payload_bytes;
@@ -143,7 +149,9 @@ bool l4span::on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb_id
             }
         } else if (flow.accecn) {
             if (pkt.ecn_field == net::ecn::ect1) flow.ect1_bytes += pkt.payload_bytes;
-            else flow.ect0_bytes += pkt.payload_bytes;
+            else if (pkt.ecn_field == net::ecn::ect0) flow.ect0_bytes += pkt.payload_bytes;
+            // Not-ECT bytes are not counted anywhere, exactly like the
+            // receiver's own AccECN counters.
         }
         return true;
     }

@@ -22,6 +22,8 @@
 #include "sim/event_loop.h"
 #include "stats/sample_set.h"
 #include "stats/timeseries.h"
+#include "topo/cross_traffic.h"
+#include "topo/path_impairment.h"
 #include "transport/quic_engine.h"
 #include "transport/tcp.h"
 
@@ -58,6 +60,20 @@ struct cell_spec {
     // cell_scenario only.
     double bottleneck_bps = 0.0;
     std::vector<std::pair<sim::tick, double>> bottleneck_schedule;
+    // Queue discipline of the wired bottleneck: "fifo" (default) or
+    // "dualpi2" (an L4S-aware core router whose CE marks a downstream
+    // impairment stage can bleach). Consumed by cell_scenario only.
+    std::string bottleneck_aqm = "fifo";
+    // Wired-path impairments (topo::path_impairment), per direction. The
+    // downlink stage sits after the core bottleneck and before the RAN; the
+    // uplink stage sits on the server-side return path. All-off specs mount
+    // no stage (unless force_stage) and change nothing.
+    topo::impairment_spec impair_dl;
+    topo::impairment_spec impair_ul;
+    // Unresponsive wired background senders sharing the core bottleneck
+    // (requires bottleneck_bps > 0). Consumed by cell_scenario only;
+    // scenario::topology has no shared wired bottleneck and rejects these.
+    std::vector<topo::cross_traffic_spec> cross_traffic;
 };
 
 struct flow_spec {

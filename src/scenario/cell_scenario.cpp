@@ -2,10 +2,41 @@
 
 #include <stdexcept>
 
+#include "aqm/dualpi2.h"
+
 namespace l4span::scenario {
+
+namespace {
+
+std::unique_ptr<aqm::queue_discipline> make_bottleneck_queue(const cell_spec& spec)
+{
+    if (spec.bottleneck_aqm == "fifo")
+        return std::make_unique<aqm::fifo_queue>(4 << 20);
+    if (spec.bottleneck_aqm == "dualpi2") {
+        aqm::dualpi2_config cfg;
+        cfg.max_bytes = 4 << 20;
+        cfg.seed = topo::impairment_seed(spec.seed, /*lane=*/2, false);
+        return std::make_unique<aqm::dualpi2_queue>(cfg);
+    }
+    throw std::invalid_argument("unknown bottleneck AQM \"" + spec.bottleneck_aqm +
+                                "\" (valid: fifo, dualpi2)");
+}
+
+}  // namespace
 
 cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
 {
+    spec_.impair_dl.validate("cell_spec.impair_dl");
+    spec_.impair_ul.validate("cell_spec.impair_ul");
+    for (std::size_t i = 0; i < spec_.cross_traffic.size(); ++i)
+        spec_.cross_traffic[i].validate("cell_spec.cross_traffic[" +
+                                        std::to_string(i) + "]");
+    if (!spec_.cross_traffic.empty() && spec_.bottleneck_bps <= 0.0)
+        throw std::invalid_argument(
+            "cell_spec.cross_traffic: background senders share the core "
+            "bottleneck, so set bottleneck_bps > 0 (there is no queue to "
+            "compete for otherwise)");
+
     cell_ = std::make_unique<scenario::cell>(loop_, spec_);
 
     cell_->set_deliver_handler(
@@ -15,28 +46,75 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
             flows_[f]->ep.on_downlink(pkt);
         });
 
+    // Impairment stages mount only when a knob is on (or force_stage): the
+    // all-off default leaves the event flow of existing scenarios untouched.
+    if (spec_.impair_dl.wants_stage())
+        impair_dl_ = std::make_unique<topo::path_impairment>(
+            loop_, spec_.impair_dl,
+            topo::impairment_seed(spec_.seed, /*lane=*/0, false));
+    if (spec_.impair_ul.wants_stage())
+        impair_ul_ = std::make_unique<topo::path_impairment>(
+            loop_, spec_.impair_ul,
+            topo::impairment_seed(spec_.seed, /*lane=*/0, true));
+    if (impair_dl_)
+        impair_dl_->set_deliver([this](net::packet pkt) { downlink_arrival(std::move(pkt)); });
+    if (impair_ul_)
+        impair_ul_->set_deliver([this](net::packet pkt) { uplink_arrival(std::move(pkt)); });
+
     cell_->set_uplink_handler([this](ran::rnti_t, net::packet pkt, sim::tick) {
-        const std::size_t f = pkt.flow_id;
-        if (f >= flows_.size()) return;
-        // Reverse wired path back to the server.
-        loop_.schedule_after(flows_[f]->wired_owd, [this, f, pkt = std::move(pkt)] {
-            flows_[f]->ep.on_uplink(pkt);
-        });
+        if (impair_ul_) impair_ul_->send(std::move(pkt));
+        else uplink_arrival(std::move(pkt));
     });
 
     if (spec_.bottleneck_bps > 0.0) {
         bottleneck_ = std::make_unique<topo::wired_link>(
             loop_, spec_.bottleneck_bps, sim::from_ms(1),
-            std::make_unique<aqm::fifo_queue>(4 << 20));
+            make_bottleneck_queue(spec_));
+        // The downlink stage sits between the core bottleneck and the RAN —
+        // the only placement where bleaching can erase the core AQM's CE
+        // marks before they reach the UE.
         bottleneck_->set_deliver([this](net::packet pkt) {
-            const std::size_t f = pkt.flow_id;
-            if (f >= flows_.size()) return;
-            flow_rt& flow = *flows_[f];
-            cell_->deliver_downlink(std::move(pkt), flow.rnti, flow.qfi);
+            if (impair_dl_) impair_dl_->send(std::move(pkt));
+            else downlink_arrival(std::move(pkt));
         });
         for (const auto& [when, bps] : spec_.bottleneck_schedule)
             loop_.schedule_at(when, [this, bps = bps] { bottleneck_->set_rate(bps); });
+        for (std::size_t i = 0; i < spec_.cross_traffic.size(); ++i) {
+            cross_.push_back(std::make_unique<topo::cross_traffic>(
+                loop_, spec_.cross_traffic[i],
+                topo::impairment_seed(spec_.seed, /*lane=*/64 + i, false),
+                static_cast<std::uint32_t>(i),
+                [this](net::packet pkt) { bottleneck_->send(std::move(pkt)); }));
+            cross_.back()->start();
+        }
     }
+}
+
+void cell_scenario::downlink_arrival(net::packet pkt)
+{
+    const std::size_t f = pkt.flow_id;
+    // Unknown flow ids (cross-traffic's sentinel) sink here: background
+    // packets exist to occupy the bottleneck, not to enter the RAN.
+    if (f >= flows_.size()) return;
+    flow_rt& flow = *flows_[f];
+    cell_->deliver_downlink(std::move(pkt), flow.rnti, flow.qfi);
+}
+
+void cell_scenario::uplink_arrival(net::packet pkt)
+{
+    const std::size_t f = pkt.flow_id;
+    if (f >= flows_.size()) return;
+    // Reverse wired path back to the server.
+    loop_.schedule_after(flows_[f]->wired_owd, [this, f, pkt = std::move(pkt)] {
+        flows_[f]->ep.on_uplink(pkt);
+    });
+}
+
+std::uint64_t cell_scenario::cross_traffic_packets() const
+{
+    std::uint64_t n = 0;
+    for (const auto& c : cross_) n += c->packets_sent();
+    return n;
 }
 
 cell_scenario::~cell_scenario() = default;
@@ -61,13 +139,14 @@ int cell_scenario::add_flow(flow_spec fspec)
 
     auto dl_send = [this, handle](net::packet pkt) {
         pkt.flow_id = static_cast<std::uint64_t>(handle);
-        // Forward wired path: fixed propagation, then optional bottleneck.
+        // Forward wired path: fixed propagation, then optional bottleneck,
+        // then the optional impairment stage (downlink_arrival routes into
+        // the RAN; the stage forwards there via its deliver handler).
         loop_.schedule_after(flows_[static_cast<std::size_t>(handle)]->wired_owd,
-                             [this, handle, pkt = std::move(pkt)]() mutable {
-                                 flow_rt& f2 = *flows_[static_cast<std::size_t>(handle)];
+                             [this, pkt = std::move(pkt)]() mutable {
                                  if (bottleneck_) bottleneck_->send(std::move(pkt));
-                                 else cell_->deliver_downlink(std::move(pkt), f2.rnti,
-                                                              f2.qfi);
+                                 else if (impair_dl_) impair_dl_->send(std::move(pkt));
+                                 else downlink_arrival(std::move(pkt));
                              });
     };
     auto ul_send = [this, handle](net::packet pkt) {
@@ -145,6 +224,22 @@ const media::frame_source* cell_scenario::frame_stats(int flow) const
 std::uint64_t cell_scenario::flow_retransmits(int flow) const
 {
     return flow_at(flow).ep.transport_retransmits();
+}
+
+std::uint64_t cell_scenario::flow_ce_packets(int flow) const
+{
+    const flow_rt& f = flow_at(flow);
+    if (f.ep.rcv) return f.ep.rcv->ce_packets();
+    if (f.ep.qrcv) return f.ep.qrcv->ce_packets();
+    return 0;
+}
+
+bool cell_scenario::flow_ecn_fallback(int flow) const
+{
+    const flow_rt& f = flow_at(flow);
+    if (f.ep.snd) return f.ep.snd->ecn_fallback();
+    if (f.ep.qsnd) return f.ep.qsnd->ecn_fallback();
+    return false;
 }
 
 double cell_scenario::fct_ms(int flow) const

@@ -16,6 +16,8 @@
 #include "sim/event_loop.h"
 #include "stats/sample_set.h"
 #include "stats/timeseries.h"
+#include "topo/cross_traffic.h"
+#include "topo/path_impairment.h"
 #include "topo/wired_link.h"
 
 namespace l4span::scenario {
@@ -43,6 +45,12 @@ public:
     const transport::quic_sender* quic_flow(int flow) const;   // quic-* flows
     const media::frame_source* frame_stats(int flow) const;    // fps > 0 flows
     std::uint64_t flow_retransmits(int flow) const;        // TCP/QUIC re-sends
+    // CE-marked packets the flow's receiver actually saw (0 for media
+    // flows) — the numerator of the CE-delivery ratio.
+    std::uint64_t flow_ce_packets(int flow) const;
+    // True when the TCP/QUIC sender's ECN path validation gave up and the
+    // flow reverted to Not-ECT sending (false for media flows).
+    bool flow_ecn_fallback(int flow) const;
 
     // --- cell-level instrumentation ---
     const stats::sample_set& rlc_queue_sdus(int ue) const;  // sampled every 10 ms
@@ -57,6 +65,20 @@ public:
     const std::vector<std::pair<sim::tick, std::uint32_t>>& tx_log(int ue) const;
     double sim_wallclock_events() const { return static_cast<double>(loop_.processed()); }
 
+    // --- path-impairment instrumentation ---
+    // Mounted stages (nullptr when the spec's knobs are all off and
+    // force_stage is false).
+    const topo::path_impairment* impair_dl() const { return impair_dl_.get(); }
+    const topo::path_impairment* impair_ul() const { return impair_ul_.get(); }
+    // CE marks applied by the wired bottleneck AQM (0 without a bottleneck
+    // or with a FIFO one). Together with l4span_layer()->marks() this is
+    // the denominator of the CE-delivery ratio.
+    std::uint64_t bottleneck_ce_marks() const
+    {
+        return bottleneck_ ? bottleneck_->queue().marks() : 0;
+    }
+    std::uint64_t cross_traffic_packets() const;
+
 private:
     struct flow_rt {
         flow_spec spec;
@@ -68,11 +90,16 @@ private:
 
     flow_rt& flow_at(int flow) const;
     ran::rnti_t rnti_at(int ue) const;
+    void downlink_arrival(net::packet pkt);  // route into the RAN by flow_id
+    void uplink_arrival(net::packet pkt);    // route feedback to the sender
 
     cell_spec spec_;
     sim::event_loop loop_;
     std::unique_ptr<scenario::cell> cell_;
     std::unique_ptr<topo::wired_link> bottleneck_;
+    std::unique_ptr<topo::path_impairment> impair_dl_;
+    std::unique_ptr<topo::path_impairment> impair_ul_;
+    std::vector<std::unique_ptr<topo::cross_traffic>> cross_;
     std::vector<std::unique_ptr<flow_rt>> flows_;
     sim::tick duration_ = 0;
 };

@@ -75,10 +75,12 @@ bench_args parse_bench_args(int argc, char** argv)
             args.trace_dir = argv[++i];
         } else if (a.rfind("--trace-dir=", 0) == 0) {
             args.trace_dir = a.substr(12);
+        } else if (a == "--impair-noop") {
+            args.impair_noop = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--quick] [--json PATH] "
-                         "[--trace-dir DIR]\n"
+                         "[--trace-dir DIR] [--impair-noop]\n"
                          "unknown argument: %s\n",
                          argv[0], a.c_str());
             std::exit(2);

@@ -63,9 +63,13 @@ struct bench_args {
     std::string json_path;   // --json PATH: write the per-figure summary
     std::string trace_dir;   // --trace-dir DIR: replay DCI traces from DIR
                              // (bench_trace_replay, bench_fig18_coherence)
+    bool impair_noop = false;  // --impair-noop: mount all-off impairment
+                               // stages (pass-through fast-path check; the
+                               // output must be byte-identical)
 };
 
-// Parses --jobs N / --quick / --json PATH / --trace-dir DIR (and -jN).
+// Parses --jobs N / --quick / --json PATH / --trace-dir DIR /
+// --impair-noop (and -jN).
 // Unknown arguments are rejected with a usage message on stderr and
 // exit(2) so a typo can't silently run the full multi-minute grid.
 bench_args parse_bench_args(int argc, char** argv);

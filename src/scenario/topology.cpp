@@ -20,6 +20,15 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
     if (spec_.ues_per_cell < 1)
         throw std::invalid_argument("topology: need >= 1 UE per cell");
 
+    spec_.cell.impair_dl.validate("topology_spec.cell.impair_dl");
+    spec_.cell.impair_ul.validate("topology_spec.cell.impair_ul");
+    if (!spec_.cell.cross_traffic.empty())
+        throw std::invalid_argument(
+            "topology_spec.cell.cross_traffic: the multi-cell topology has "
+            "no shared wired bottleneck for background senders to compete "
+            "for — cross-traffic is a cell_scenario feature (like "
+            "bottleneck_bps)");
+
     const sim::tick slot = ran::mac_config{}.slot;
     const sim::tick min_latency = std::min(
         {spec_.core_hop_latency, spec_.ue_stack_latency, spec_.x2_latency});
@@ -41,6 +50,23 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
         cell_spec cs = spec_.cell;
         cs.num_ues = spec_.ues_per_cell;
         cs.seed = spec_.cell.seed + 7919u * static_cast<std::uint64_t>(c);
+        // One impairment stage pair per home shard: each stage's RNG and
+        // hold buffer are touched only from its own shard's loop, so runs
+        // stay byte-identical for any `jobs`.
+        if (spec_.cell.impair_dl.wants_stage()) {
+            impair_dl_.push_back(std::make_unique<topo::path_impairment>(
+                shards_->loop(static_cast<std::size_t>(c)), spec_.cell.impair_dl,
+                topo::impairment_seed(cs.seed, /*lane=*/0, false)));
+            impair_dl_.back()->set_deliver(
+                [this](net::packet pkt) { forward_downlink(std::move(pkt)); });
+        }
+        if (spec_.cell.impair_ul.wants_stage()) {
+            impair_ul_.push_back(std::make_unique<topo::path_impairment>(
+                shards_->loop(static_cast<std::size_t>(c)), spec_.cell.impair_ul,
+                topo::impairment_seed(cs.seed, /*lane=*/0, true)));
+            impair_ul_.back()->set_deliver(
+                [this](net::packet pkt) { uplink_arrival(std::move(pkt)); });
+        }
         cells_.push_back(std::make_unique<scenario::cell>(
             shards_->loop(static_cast<std::size_t>(c)), std::move(cs), c));
     }
@@ -73,9 +99,15 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
         cp->set_uplink_handler([this](ran::rnti_t, net::packet pkt, sim::tick now) {
             const std::size_t f = pkt.flow_id;
             if (f >= flows_.size()) return;
-            shards_->post(static_cast<std::size_t>(flows_[f]->home),
-                          now + flows_[f]->wired_owd,
-                          [this, f, pkt = std::move(pkt)] { flows_[f]->ep.on_uplink(pkt); });
+            // Server-side return path: the home shard's uplink impairment
+            // stage (when mounted) sits at the end of the wired hop.
+            const std::size_t home = static_cast<std::size_t>(flows_[f]->home);
+            shards_->post(home, now + flows_[f]->wired_owd,
+                          [this, home, pkt = std::move(pkt)]() mutable {
+                              if (home < impair_ul_.size())
+                                  impair_ul_[home]->send(std::move(pkt));
+                              else uplink_arrival(std::move(pkt));
+                          });
         });
     }
 }
@@ -124,6 +156,18 @@ int topology::add_flow(flow_spec fspec)
 
 void topology::route_downlink(std::size_t flow, net::packet pkt)
 {
+    // The wired downlink hop ends here (home shard): apply the path
+    // impairment before the UPF hold/route, so held packets are never
+    // impaired twice when finish_handover flushes them.
+    const std::size_t home = static_cast<std::size_t>(flows_[flow]->home);
+    if (home < impair_dl_.size()) impair_dl_[home]->send(std::move(pkt));
+    else forward_downlink(std::move(pkt));
+}
+
+void topology::forward_downlink(net::packet pkt)
+{
+    const std::size_t flow = pkt.flow_id;
+    if (flow >= flows_.size()) return;
     flow_rt& f = *flows_[flow];
     ue_entry& u = *ues_[static_cast<std::size_t>(f.spec.ue)];
     if (!u.attached) {
@@ -142,6 +186,13 @@ void topology::route_downlink(std::size_t flow, net::packet pkt)
                       // forward in a real deployment.
                       if (c->has_ue(rnti)) c->deliver_downlink(std::move(pkt), rnti, qfi);
                   });
+}
+
+void topology::uplink_arrival(net::packet pkt)
+{
+    const std::size_t f = pkt.flow_id;
+    if (f >= flows_.size()) return;
+    flows_[f]->ep.on_uplink(pkt);
 }
 
 void topology::route_uplink(std::size_t flow, net::packet pkt)
@@ -228,13 +279,12 @@ void topology::finish_handover(int ue, int target, ran::rnti_t new_rnti)
     // on the home shard, where the endpoints live.
     for (auto& f : flows_)
         if (f->spec.ue == ue) f->ep.on_path_switch();
-    // Flush held packets in arrival order down the normal paths.
+    // Flush held packets in arrival order down the normal paths. Held
+    // downlink packets already passed the impairment stage before the UPF
+    // hold, so they re-enter after it (forward_downlink).
     auto dl = std::move(u.held_dl);
     u.held_dl.clear();
-    for (auto& pkt : dl) {
-        const std::size_t f = pkt.flow_id;
-        route_downlink(f, std::move(pkt));
-    }
+    for (auto& pkt : dl) forward_downlink(std::move(pkt));
     auto ul = std::move(u.held_ul);
     u.held_ul.clear();
     for (auto& pkt : ul) {
@@ -319,6 +369,24 @@ int topology::serving_cell(int ue) const
 ran::rnti_t topology::ue_rnti(int ue) const
 {
     return ue_at(ue).rnti;
+}
+
+const topo::path_impairment* topology::impair_dl_stage(int c) const
+{
+    if (c < 0 || c >= num_cells())
+        throw std::out_of_range("topology: impairment stage index out of range");
+    return static_cast<std::size_t>(c) < impair_dl_.size()
+               ? impair_dl_[static_cast<std::size_t>(c)].get()
+               : nullptr;
+}
+
+const topo::path_impairment* topology::impair_ul_stage(int c) const
+{
+    if (c < 0 || c >= num_cells())
+        throw std::out_of_range("topology: impairment stage index out of range");
+    return static_cast<std::size_t>(c) < impair_ul_.size()
+               ? impair_ul_[static_cast<std::size_t>(c)].get()
+               : nullptr;
 }
 
 }  // namespace l4span::scenario

@@ -91,6 +91,11 @@ public:
     std::uint64_t handovers_started() const { return ho_started_.load(); }
     std::uint64_t handovers_completed() const { return ho_completed_.load(); }
     std::uint64_t processed_events() const { return shards_->processed(); }
+    // Wired-path impairment stage of shard `c` (one pair per home shard, so
+    // sharded runs stay race-free and byte-identical); nullptr when the
+    // spec's knobs are all off. Read only after run().
+    const topo::path_impairment* impair_dl_stage(int c) const;
+    const topo::path_impairment* impair_ul_stage(int c) const;
 
 private:
     struct ue_entry {
@@ -109,9 +114,14 @@ private:
         flow_endpoints ep;
     };
 
-    // All four run on the UE's home shard.
+    // All of these run on the UE's home shard. route_downlink pushes the
+    // packet through the home shard's impairment stage (when mounted)
+    // before forward_downlink applies the UPF hold/routing; uplink_arrival
+    // is the server-side return hop, after the uplink impairment stage.
     void route_downlink(std::size_t flow, net::packet pkt);
+    void forward_downlink(net::packet pkt);
     void route_uplink(std::size_t flow, net::packet pkt);
+    void uplink_arrival(net::packet pkt);
     void begin_handover(int ue, int target);
     void finish_handover(int ue, int target, ran::rnti_t new_rnti);
 
@@ -121,6 +131,10 @@ private:
     topology_spec spec_;
     std::unique_ptr<sim::shard_group> shards_;
     std::vector<std::unique_ptr<scenario::cell>> cells_;
+    // One stage pair per home shard (empty vectors when the spec mounts
+    // none); each stage lives entirely on its shard's loop.
+    std::vector<std::unique_ptr<topo::path_impairment>> impair_dl_;
+    std::vector<std::unique_ptr<topo::path_impairment>> impair_ul_;
     std::vector<std::unique_ptr<ue_entry>> ues_;
     std::vector<std::unique_ptr<flow_rt>> flows_;
     sim::tick duration_ = 0;

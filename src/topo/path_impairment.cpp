@@ -1,0 +1,158 @@
+#include "topo/path_impairment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace l4span::topo {
+
+namespace {
+
+void check_prob(const std::string& where, const char* knob, double v)
+{
+    if (v < 0.0 || v > 1.0 || v != v)
+        throw std::invalid_argument(
+            where + ": " + knob + " = " + std::to_string(v) +
+            " is not a probability — every impairment probability must lie "
+            "within [0, 1] (0 disables the transform)");
+}
+
+}  // namespace
+
+void impairment_spec::validate(const std::string& where) const
+{
+    check_prob(where, "remark_ect1", remark_ect1);
+    check_prob(where, "bleach_ce", bleach_ce);
+    check_prob(where, "strip_ect", strip_ect);
+    check_prob(where, "loss", loss);
+    check_prob(where, "reorder", reorder);
+    check_prob(where, "duplicate", duplicate);
+    if (loss_burst < 1.0 || loss_burst != loss_burst)
+        throw std::invalid_argument(
+            where + ": loss_burst = " + std::to_string(loss_burst) +
+            " — the mean loss burst length is measured in packets and must "
+            "be >= 1 (1 = independent Bernoulli losses, larger = Gilbert "
+            "bursts)");
+    if (reorder_gap < 1)
+        throw std::invalid_argument(
+            where + ": reorder_gap = " + std::to_string(reorder_gap) +
+            " — a reordered packet is delayed behind at least one later "
+            "packet, so the gap must be >= 1");
+    if (reorder_hold_max <= 0)
+        throw std::invalid_argument(
+            where + ": reorder_hold_max must be a positive duration — it "
+            "bounds how long a reordered packet can sit in the hold buffer "
+            "(e.g. sim::from_ms(20))");
+}
+
+path_impairment::path_impairment(sim::event_loop& loop, impairment_spec spec,
+                                 std::uint64_t seed)
+    : loop_(loop), spec_(spec), rng_(seed)
+{
+    spec_.validate("path_impairment");
+}
+
+bool path_impairment::lose_next()
+{
+    if (spec_.loss <= 0.0) return false;
+    if (spec_.loss_burst <= 1.0) return rng_.bernoulli(spec_.loss);
+    // Gilbert model: stationary loss == `loss`, mean burst == `loss_burst`.
+    const double exit_p = 1.0 / spec_.loss_burst;
+    if (in_loss_burst_) {
+        if (rng_.bernoulli(exit_p)) in_loss_burst_ = false;
+        return true;
+    }
+    const double enter_p =
+        spec_.loss >= 1.0 ? 1.0 : exit_p * spec_.loss / (1.0 - spec_.loss);
+    if (rng_.bernoulli(std::min(enter_p, 1.0))) {
+        in_loss_burst_ = true;
+        return true;
+    }
+    return false;
+}
+
+void path_impairment::send(net::packet p)
+{
+    ++st_.input;
+
+    // Marking transforms, in the normative order (see header). Each draw is
+    // gated on both the knob and the packet's codepoint, so a stage draws
+    // randomness only for packets a transform could actually touch.
+    if (p.ecn_field == net::ecn::ect1 && spec_.remark_ect1 > 0.0 &&
+        rng_.bernoulli(spec_.remark_ect1)) {
+        p.ecn_field = net::ecn::ect0;
+        ++st_.remarked;
+    }
+    if (p.ecn_field == net::ecn::ce && spec_.bleach_ce > 0.0 &&
+        rng_.bernoulli(spec_.bleach_ce)) {
+        p.ecn_field = net::ecn::ect0;
+        ++st_.bleached;
+    }
+    if (p.ecn_field != net::ecn::not_ect && spec_.strip_ect > 0.0 &&
+        rng_.bernoulli(spec_.strip_ect)) {
+        p.ecn_field = net::ecn::not_ect;
+        ++st_.stripped;
+    }
+
+    if (lose_next()) {
+        ++st_.lost;
+        return;
+    }
+
+    if (spec_.reorder > 0.0 && rng_.bernoulli(spec_.reorder)) {
+        ++st_.reordered;
+        const std::uint64_t id = ++next_hold_id_;
+        held_.push_back({std::move(p), spec_.reorder_gap, id});
+        loop_.schedule_after(spec_.reorder_hold_max,
+                             [this, id] { release_by_id(id); });
+        return;
+    }
+
+    const bool dup = spec_.duplicate > 0.0 && rng_.bernoulli(spec_.duplicate);
+    if (dup) {
+        ++st_.duplicated;
+        net::packet copy = p;
+        pass(std::move(p));
+        pass(std::move(copy));
+    } else {
+        pass(std::move(p));
+    }
+}
+
+void path_impairment::pass(net::packet p)
+{
+    deliver(std::move(p));
+    if (held_.empty()) return;
+    // One passing packet advances every held packet; releases fire in hold
+    // order right behind the packet that unblocked them. Released packets do
+    // not themselves advance the buffer (no cascades).
+    std::vector<net::packet> due;
+    for (auto it = held_.begin(); it != held_.end();) {
+        if (--it->remaining <= 0) {
+            due.push_back(std::move(it->pkt));
+            it = held_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto& d : due) deliver(std::move(d));
+}
+
+void path_impairment::release_by_id(std::uint64_t id)
+{
+    for (auto it = held_.begin(); it != held_.end(); ++it) {
+        if (it->id != id) continue;
+        net::packet p = std::move(it->pkt);
+        held_.erase(it);
+        deliver(std::move(p));
+        return;
+    }
+    // Already released by passing traffic — the timer is a no-op.
+}
+
+void path_impairment::deliver(net::packet p)
+{
+    ++st_.delivered;
+    if (deliver_) deliver_(std::move(p));
+}
+
+}  // namespace l4span::topo

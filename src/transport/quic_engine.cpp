@@ -155,7 +155,8 @@ void quic_sender::send_packet(const quic::stream_frame& frame, bool handshake)
     p.flow_id = cfg_.flow_id;
     p.pkt_id = ++pkt_counter_;
     p.sent_time = loop_.now();
-    p.ecn_field = handshake ? net::ecn::not_ect : cc_->data_ecn();
+    p.ecn_field =
+        (handshake || ecn_fallback_) ? net::ecn::not_ect : cc_->data_ecn();
     p.payload_bytes = handshake ? k_initial_bytes
                                 : frame.len + quic::k_stream_frame_overhead +
                                       quic::k_short_header_bytes;
@@ -294,6 +295,17 @@ void quic_sender::process_ack(const net::quic::ack_frame& af, sim::tick now)
         } else {
             classic_ce = ce_delta > 0;
         }
+        // ECN validation (RFC 9000 §13.4.2): the receiver's counts move iff
+        // packets arrive with their ECT/CE codepoint intact. All-zero after
+        // a validation horizon of delivered data means the path strips ECN:
+        // stop marking, keep loss-based control (the codepoint is the only
+        // thing that changes).
+        if (!ecn_confirmed_ && (af.ecn.ect0 | af.ecn.ect1 | af.ecn.ce) != 0)
+            ecn_confirmed_ = true;
+        if (!ecn_confirmed_ && !ecn_fallback_ &&
+            cc_->data_ecn() != net::ecn::not_ect &&
+            delivered_ >= 16ull * cfg_.mtu_payload)
+            ecn_fallback_ = true;
     }
 
     s.newly_acked = static_cast<std::uint32_t>(newly_bytes);

@@ -75,6 +75,11 @@ public:
     // Data re-sends (RACK-declared losses and PTO probes carrying old data).
     std::uint32_t retransmits() const { return retransmit_count_; }
     std::uint32_t lost_packets() const { return lost_packets_; }
+    // True once ECN validation (RFC 9000 §13.4.2) concluded the path does
+    // not deliver ECN-marked packets — every ACK_ECN count still zero after
+    // enough delivered data — and the sender reverted to Not-ECT sending.
+    // Sticky for the connection's lifetime.
+    bool ecn_fallback() const { return ecn_fallback_; }
     std::uint32_t path_migrations() const { return path_migrations_; }
     quic::cid_t active_cid() const { return cfg_.cid_base + active_cid_index_; }
     std::uint64_t packets_sent() const { return next_pn_; }
@@ -145,6 +150,10 @@ private:
     // ECN feedback: cumulative packet counters from ACK_ECN frames.
     ecn_counter_tracker ce_tracker_{64};
     sim::tick last_ecn_reaction_ = -1;  // classic (non-AccECN) rate limiting
+    // ECN path validation (RFC 9000 §13.4.2): confirmed once any ACK_ECN
+    // count moves; fallback once enough data arrived with all counts zero.
+    bool ecn_confirmed_ = false;
+    bool ecn_fallback_ = false;
 
     // Delivery-rate estimation for BBR.
     std::uint64_t delivered_ = 0;

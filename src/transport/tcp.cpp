@@ -4,6 +4,14 @@
 
 namespace l4span::transport {
 
+namespace {
+// ECN path validation horizon: if after this many MSS of delivered data the
+// receiver's AccECN counters have never moved, no data segment arrived with
+// its ECT codepoint intact — an ECT-stripping middlebox — and the sender
+// falls back to Not-ECT, loss-based operation (mirrors RFC 9000 §13.4.2).
+constexpr std::uint64_t k_ecn_validate_segments = 16;
+}  // namespace
+
 // ---------------------------------------------------------------- sender --
 
 tcp_sender::tcp_sender(sim::event_loop& loop, tcp_config cfg, cc_ptr cc, send_fn send)
@@ -90,7 +98,7 @@ void tcp_sender::send_segment(std::uint64_t seq, std::uint32_t len, bool is_retx
     p.pkt_id = ++pkt_counter_;
     p.sent_time = loop_.now();
     p.payload_bytes = len;
-    p.ecn_field = cc_->data_ecn();
+    p.ecn_field = ecn_fallback_ ? net::ecn::not_ect : cc_->data_ecn();
     p.tcp = net::tcp_header{};
     p.tcp->seq = static_cast<std::uint32_t>(seq);
     if (send_cwr_ && !is_retx) {
@@ -163,6 +171,11 @@ void tcp_sender::process_ack(const net::packet& pkt)
         std::uint64_t ce_delta_bytes = 0;
         if (h.accecn.present) {
             ce_delta_bytes = eceb_tracker_.update(h.accecn.eceb);
+            // ECN path validation: the receiver's cumulative byte counters
+            // move iff data arrives with ECT(0)/ECT(1)/CE intact.
+            if (!ecn_confirmed_ &&
+                (h.accecn.ee0b | h.accecn.ee1b | h.accecn.eceb) != 0)
+                ecn_confirmed_ = true;
         } else {
             // Fall back to the 3-bit ACE packet counter.
             ce_delta_bytes = ace_tracker_.update(h.ace()) * cfg_.mss;
@@ -220,6 +233,14 @@ void tcp_sender::process_ack(const net::packet& pkt)
         if (dupacks_ == 3 && !in_recovery_) {
             enter_recovery(now);
         }
+    }
+
+    if (cc_->uses_accecn() && !ecn_confirmed_ && !ecn_fallback_ &&
+        cc_->data_ecn() != net::ecn::not_ect &&
+        delivered_ >= k_ecn_validate_segments * cfg_.mss) {
+        // Enough data delivered and not one byte of it kept its ECT mark:
+        // the path strips ECN. Stop marking; loss handling is untouched.
+        ecn_fallback_ = true;
     }
 
     s.srtt = srtt_;

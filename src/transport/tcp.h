@@ -65,6 +65,11 @@ public:
     std::uint64_t cwnd_bytes() const { return cc_->cwnd(); }
     const congestion_controller& cc() const { return *cc_; }
     std::uint32_t retransmits() const { return retransmit_count_; }
+    // True once the sender concluded the path does not deliver ECN (every
+    // AccECN feedback counter still zero after enough delivered data — an
+    // ECT-stripping middlebox) and reverted to Not-ECT sending with pure
+    // loss-based control. Sticky for the connection's lifetime.
+    bool ecn_fallback() const { return ecn_fallback_; }
 
 private:
     struct segment {
@@ -121,6 +126,11 @@ private:
     sim::tick last_ecn_reaction_ = -1;
     ecn_counter_tracker eceb_tracker_{24};
     ecn_counter_tracker ace_tracker_{3};
+    // ECN path validation (AccECN senders): confirmed once any receiver
+    // byte counter moves; fallback once enough data was delivered with
+    // every counter still zero (see k_ecn_validate_segments).
+    bool ecn_confirmed_ = false;
+    bool ecn_fallback_ = false;
 
     // App-limited stream bound (cumulative bytes written via app_write).
     std::uint64_t app_limit_ = 0;

@@ -1,0 +1,161 @@
+// Fuzz campaign for topo::path_impairment: random knob vectors and random
+// traffic must never crash, violate conservation, invent packets, or leave
+// the hold buffer non-empty once the loop drains. Invalid knob vectors must
+// be rejected by validate() with std::invalid_argument (never accepted and
+// never any other exception type).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+#include "topo/path_impairment.h"
+
+using namespace l4span;
+using namespace l4span::topo;
+
+namespace {
+
+net::ecn random_ecn(sim::rng& rng)
+{
+    switch (rng.uniform_int(0, 3)) {
+        case 0: return net::ecn::not_ect;
+        case 1: return net::ecn::ect0;
+        case 2: return net::ecn::ect1;
+        default: return net::ecn::ce;
+    }
+}
+
+impairment_spec random_spec(sim::rng& rng)
+{
+    impairment_spec s;
+    // Each knob is off half the time so single- and multi-transform stages
+    // are both exercised, including the all-off pass-through.
+    if (rng.bernoulli(0.5)) s.remark_ect1 = rng.uniform(0.0, 1.0);
+    if (rng.bernoulli(0.5)) s.bleach_ce = rng.uniform(0.0, 1.0);
+    if (rng.bernoulli(0.5)) s.strip_ect = rng.uniform(0.0, 1.0);
+    if (rng.bernoulli(0.5)) s.loss = rng.uniform(0.0, 0.5);
+    if (rng.bernoulli(0.5)) s.loss_burst = rng.uniform(1.0, 16.0);
+    if (rng.bernoulli(0.5)) s.reorder = rng.uniform(0.0, 1.0);
+    s.reorder_gap = static_cast<int>(rng.uniform_int(1, 50));
+    s.reorder_hold_max = rng.uniform_int(1, 50) * sim::k_millisecond;
+    if (rng.bernoulli(0.5)) s.duplicate = rng.uniform(0.0, 0.5);
+    s.force_stage = rng.bernoulli(0.2);
+    return s;
+}
+
+}  // namespace
+
+TEST(impairment_fuzz, random_configs_conserve_packets)
+{
+    sim::rng rng(20260808);
+    for (int round = 0; round < 300; ++round) {
+        const impairment_spec spec = random_spec(rng);
+        sim::event_loop loop;
+        path_impairment stage(loop, spec, rng.uniform_int(1, 1u << 30));
+        std::uint64_t delivered = 0;
+        std::uint64_t last_id_plus_1 = 0;
+        std::vector<std::uint32_t> copies;
+        stage.set_deliver([&](net::packet p) {
+            ++delivered;
+            if (p.pkt_id >= copies.size()) copies.resize(p.pkt_id + 1, 0);
+            ++copies[p.pkt_id];
+        });
+        const std::uint64_t n = rng.uniform_int(1, 2000);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            net::packet p;
+            p.ft.proto = net::ip_proto::udp;
+            p.ecn_field = random_ecn(rng);
+            p.pkt_id = i;
+            p.payload_bytes = static_cast<std::uint32_t>(rng.uniform_int(1, 1500));
+            stage.send(std::move(p));
+            last_id_plus_1 = i + 1;
+            // Conservation must hold mid-stream, not just at the end.
+            const auto& st = stage.stats();
+            ASSERT_EQ(st.input + st.duplicated,
+                      st.delivered + st.lost + stage.held_packets());
+        }
+        loop.run();  // fire all hold timers
+        const auto& st = stage.stats();
+        EXPECT_EQ(stage.held_packets(), 0u) << "hold buffer must drain";
+        EXPECT_EQ(st.input, last_id_plus_1);
+        EXPECT_EQ(st.input + st.duplicated, st.delivered + st.lost);
+        EXPECT_EQ(st.delivered, delivered);
+        // No packet is invented: at most 1 copy without the duplicate knob,
+        // at most 2 with it; every copy accounted to a real pkt_id.
+        std::uint64_t total_copies = 0;
+        for (std::uint32_t c : copies) {
+            EXPECT_LE(c, spec.duplicate > 0.0 ? 2u : 1u);
+            total_copies += c;
+        }
+        EXPECT_EQ(total_copies, delivered);
+        EXPECT_LE(copies.size(), n);
+    }
+}
+
+TEST(impairment_fuzz, out_of_range_specs_always_rejected)
+{
+    sim::rng rng(4711);
+    for (int round = 0; round < 200; ++round) {
+        impairment_spec s = random_spec(rng);
+        // Corrupt exactly one knob per round.
+        switch (rng.uniform_int(0, 8)) {
+            case 0: s.remark_ect1 = rng.uniform(1.0001, 100.0); break;
+            case 1: s.bleach_ce = -rng.uniform(0.0001, 100.0); break;
+            case 2: s.strip_ect = rng.uniform(1.0001, 100.0); break;
+            case 3: s.loss = -rng.uniform(0.0001, 100.0); break;
+            case 4: s.loss_burst = rng.uniform(-5.0, 0.9999); break;
+            case 5: s.reorder = rng.uniform(1.0001, 100.0); break;
+            case 6: s.reorder_gap = static_cast<int>(rng.uniform_int(-100, 0)); break;
+            case 7: s.reorder_hold_max = -rng.uniform_int(0, 1000); break;
+            default: s.duplicate = rng.uniform(1.0001, 100.0); break;
+        }
+        EXPECT_THROW(s.validate("fuzz"), std::invalid_argument);
+        sim::event_loop loop;
+        EXPECT_THROW(path_impairment(loop, s, 1), std::invalid_argument)
+            << "the stage constructor must re-validate";
+    }
+}
+
+TEST(impairment_fuzz, random_traffic_through_chained_stages)
+{
+    // Two stages back-to-back (the scenarios mount at most one per
+    // direction, but composition must still be safe) with bursty arrival
+    // patterns driven through the event loop.
+    sim::rng rng(99991);
+    for (int round = 0; round < 50; ++round) {
+        sim::event_loop loop;
+        path_impairment a(loop, random_spec(rng), rng.uniform_int(1, 1u << 30));
+        path_impairment b(loop, random_spec(rng), rng.uniform_int(1, 1u << 30));
+        std::uint64_t sink = 0;
+        a.set_deliver([&](net::packet p) { b.send(std::move(p)); });
+        b.set_deliver([&](net::packet p) {
+            ++sink;
+            (void)p;
+        });
+        const int n = static_cast<int>(rng.uniform_int(1, 500));
+        sim::tick at = 0;
+        for (int i = 0; i < n; ++i) {
+            at += rng.uniform_int(0, 2000) * sim::k_microsecond;
+            loop.schedule_at(at, [&a, i, &rng] {
+                net::packet p;
+                p.ft.proto = net::ip_proto::udp;
+                p.ecn_field = random_ecn(rng);
+                p.pkt_id = static_cast<std::uint64_t>(i);
+                p.payload_bytes = 1200;
+                a.send(std::move(p));
+            });
+        }
+        loop.run();
+        EXPECT_EQ(a.held_packets(), 0u);
+        EXPECT_EQ(b.held_packets(), 0u);
+        const auto& sa = a.stats();
+        const auto& sb = b.stats();
+        EXPECT_EQ(sa.input, static_cast<std::uint64_t>(n));
+        EXPECT_EQ(sa.input + sa.duplicated, sa.delivered + sa.lost);
+        EXPECT_EQ(sb.input, sa.delivered);
+        EXPECT_EQ(sb.input + sb.duplicated, sb.delivered + sb.lost);
+        EXPECT_EQ(sink, sb.delivered);
+    }
+}

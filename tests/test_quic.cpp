@@ -7,6 +7,7 @@
 
 #include "net/quic_wire.h"
 #include "scenario/topology.h"
+#include "topo/path_impairment.h"
 #include "transport/prague.h"
 #include "transport/quic_engine.h"
 
@@ -100,6 +101,7 @@ struct quic_pipe_rig {
     int drop_every_n_data = 0;  // 0: no drops
     int data_count = 0;
     bool mark_all_ce = false;
+    std::unique_ptr<topo::path_impairment> impair;  // data direction only
 
     explicit quic_pipe_rig(const std::string& cca, std::uint64_t flow_bytes = 0,
                            bool app_limited = false)
@@ -114,10 +116,25 @@ struct quic_pipe_rig {
             if (drop_every_n_data > 0 && data_count % drop_every_n_data == 0)
                 return;  // drop
             if (mark_all_ce && net::is_ect(p.ecn_field)) p.ecn_field = net::ecn::ce;
+            if (impair) {
+                impair->send(std::move(p));
+                return;
+            }
             loop.schedule_after(one_way, [this, p = std::move(p)] { rcv->on_packet(p); });
         });
         rcv = std::make_unique<quic_receiver>(loop, cfg, [this](net::packet p) {
             loop.schedule_after(one_way, [this, p = std::move(p)] { snd->on_packet(p); });
+        });
+    }
+
+    // Mounts an impairment stage on the data direction, in front of the
+    // propagation delay, the way the scenarios mount one on the wired hop.
+    void install_impairment(const topo::impairment_spec& spec)
+    {
+        impair = std::make_unique<topo::path_impairment>(loop, spec, 42);
+        impair->set_deliver([this](net::packet p) {
+            loop.schedule_after(one_way,
+                                [this, p = std::move(p)] { rcv->on_packet(p); });
         });
     }
 
@@ -342,4 +359,74 @@ TEST(quic, interactive_frames_keep_low_owd_across_handover)
     // (the allowance covers the handshake/slow-start transient).
     EXPECT_LT(fr->stall_fraction(), 0.10);
     EXPECT_EQ(topo.flow_retransmits(h), 0u);
+}
+
+// --- ECN validation / fallback under adversarial paths (path_impairment) -----
+
+TEST(quic_ecn_fallback, clean_link_never_falls_back)
+{
+    quic_pipe_rig rig("prague");
+    rig.snd->start();
+    rig.run(sim::from_sec(2));
+    EXPECT_FALSE(rig.snd->ecn_fallback());
+    EXPECT_EQ(rig.snd->retransmits(), 0u);
+    EXPECT_GT(rig.rcv->received_bytes(), 1u << 20);
+}
+
+TEST(quic_ecn_fallback, ect_strip_triggers_fallback_without_spurious_retx)
+{
+    // RFC 9000 §13.4.2 ECN validation: the peer's ECN counts never move when
+    // a middlebox zeroes the field, so the sender must mark the path as not
+    // ECN-capable and send subsequent packets Not-ECT — with zero data
+    // re-sends on this loss-free link.
+    quic_pipe_rig rig("prague");
+    topo::impairment_spec strip;
+    strip.strip_ect = 1.0;
+    rig.install_impairment(strip);
+    rig.snd->start();
+    rig.run(sim::from_sec(2));
+    EXPECT_TRUE(rig.snd->ecn_fallback())
+        << "sender must detect that the path is not ECN-capable";
+    EXPECT_EQ(rig.snd->retransmits(), 0u)
+        << "fallback must not manufacture loss on a clean link";
+    EXPECT_GT(rig.rcv->received_bytes(), 1u << 20)
+        << "the transfer must keep progressing after fallback";
+    EXPECT_EQ(rig.rcv->ce_packets(), 0u);
+    // Post-fallback packets leave the sender Not-ECT already, so the strip
+    // count stops well short of the input count.
+    const auto& st = rig.impair->stats();
+    EXPECT_LT(st.stripped, st.input / 2)
+        << "sender kept stamping ECT after fallback";
+}
+
+TEST(quic_ecn_fallback, fallback_sender_still_recovers_from_loss)
+{
+    quic_pipe_rig rig("prague");
+    topo::impairment_spec adversarial;
+    adversarial.strip_ect = 1.0;
+    adversarial.loss = 0.01;
+    adversarial.loss_burst = 2.0;
+    rig.install_impairment(adversarial);
+    rig.snd->start();
+    rig.run(sim::from_sec(3));
+    EXPECT_TRUE(rig.snd->ecn_fallback());
+    EXPECT_GT(rig.snd->retransmits(), 0u)
+        << "ACK-range loss detection must keep repairing losses";
+    EXPECT_GT(rig.rcv->received_bytes(), 1u << 20)
+        << "loss-based control must sustain progress after fallback";
+}
+
+TEST(quic_ecn_fallback, reordering_alone_causes_no_fallback)
+{
+    // Mild reordering shuffles ECN-marked packets but the counts still
+    // arrive; ECN validation must not be tripped by it.
+    quic_pipe_rig rig("prague");
+    topo::impairment_spec shuffle;
+    shuffle.reorder = 0.05;
+    shuffle.reorder_gap = 2;
+    rig.install_impairment(shuffle);
+    rig.snd->start();
+    rig.run(sim::from_sec(2));
+    EXPECT_FALSE(rig.snd->ecn_fallback());
+    EXPECT_GT(rig.rcv->received_bytes(), 1u << 20);
 }

@@ -4,6 +4,8 @@
 
 #include <deque>
 
+#include "scenario/cell_scenario.h"
+#include "topo/path_impairment.h"
 #include "transport/prague.h"
 #include "transport/tcp.h"
 
@@ -22,6 +24,7 @@ struct pipe_rig {
     int drop_every_n_data = 0;  // 0: no drops
     int data_count = 0;
     bool mark_all_ce = false;
+    std::unique_ptr<topo::path_impairment> impair;  // data direction only
 
     explicit pipe_rig(const std::string& cca, std::uint64_t flow_bytes = 0)
     {
@@ -35,12 +38,28 @@ struct pipe_rig {
                 data_count % drop_every_n_data == 0)
                 return;  // drop
             if (mark_all_ce && net::is_ect(p.ecn_field)) p.ecn_field = net::ecn::ce;
+            if (impair) {
+                impair->send(std::move(p));
+                return;
+            }
             loop.schedule_after(one_way,
                                 [this, p = std::move(p)] { rcv->on_packet(p); });
         });
         rcv = std::make_unique<tcp_receiver>(loop, cfg, accecn, [this](net::packet p) {
             loop.schedule_after(one_way,
                                 [this, p = std::move(p)] { snd->on_packet(p); });
+        });
+    }
+
+    // Mounts an impairment stage on the data direction (sender -> receiver),
+    // in front of the propagation delay, the way the scenarios mount one on
+    // the wired hop.
+    void install_impairment(const topo::impairment_spec& spec)
+    {
+        impair = std::make_unique<topo::path_impairment>(loop, spec, 42);
+        impair->set_deliver([this](net::packet p) {
+            loop.schedule_after(one_way,
+                                [this, p = std::move(p)] { rcv->on_packet(p); });
         });
     }
 
@@ -168,4 +187,101 @@ TEST(tcp, stop_halts_new_data)
     const auto frozen = rig.rcv->received_bytes();
     rig.run(sim::from_sec(2));
     EXPECT_EQ(rig.rcv->received_bytes(), frozen);
+}
+
+// ---- ECN validation / fallback under adversarial paths (path_impairment) --
+
+TEST(tcp_ecn_fallback, clean_link_never_falls_back)
+{
+    pipe_rig rig("prague");
+    rig.snd->start();
+    rig.run(sim::from_sec(2));
+    EXPECT_FALSE(rig.snd->ecn_fallback());
+    EXPECT_EQ(rig.snd->retransmits(), 0u);
+    EXPECT_GT(rig.rcv->received_bytes(), 1u << 20);
+}
+
+TEST(tcp_ecn_fallback, ect_strip_triggers_fallback_without_spurious_retx)
+{
+    // A field-zeroing middlebox strips every ECT mark: the receiver's AccECN
+    // counters never move, so after enough delivered data the sender must
+    // declare ECN unusable and stop stamping ECT — while the transfer keeps
+    // running on loss-based control with ZERO retransmits on this clean
+    // (loss-free) link.
+    pipe_rig rig("prague");
+    topo::impairment_spec strip;
+    strip.strip_ect = 1.0;
+    rig.install_impairment(strip);
+    rig.snd->start();
+    rig.run(sim::from_sec(2));
+    EXPECT_TRUE(rig.snd->ecn_fallback())
+        << "sender must detect that the path is not ECN-capable";
+    EXPECT_EQ(rig.snd->retransmits(), 0u)
+        << "fallback must not manufacture loss on a clean link";
+    EXPECT_GT(rig.rcv->received_bytes(), 1u << 20)
+        << "the transfer must keep progressing after fallback";
+    // Post-fallback packets leave the sender as Not-ECT, so the stage has
+    // nothing left to strip: strips stop well short of the input count.
+    const auto& st = rig.impair->stats();
+    EXPECT_LT(st.stripped, st.input / 2)
+        << "sender kept stamping ECT after fallback";
+}
+
+TEST(tcp_ecn_fallback, fallback_sender_still_recovers_from_loss)
+{
+    // Loss-based control must stay fully functional after ECN fallback.
+    pipe_rig rig("prague");
+    topo::impairment_spec adversarial;
+    adversarial.strip_ect = 1.0;
+    adversarial.loss = 0.01;
+    adversarial.loss_burst = 2.0;
+    rig.install_impairment(adversarial);
+    rig.snd->start();
+    rig.run(sim::from_sec(3));
+    EXPECT_TRUE(rig.snd->ecn_fallback());
+    EXPECT_GT(rig.snd->retransmits(), 0u) << "losses must be repaired";
+    // The receiver delivers a strict in-order prefix; acks for the tail can
+    // still be in flight when the clock stops.
+    EXPECT_GE(rig.rcv->received_bytes(), rig.snd->delivered_bytes())
+        << "in-order delivery must survive loss recovery";
+    EXPECT_GT(rig.rcv->received_bytes(), 1u << 20);
+}
+
+TEST(tcp_ecn_fallback, bleached_path_does_not_starve_prague_vs_cubic)
+{
+    // 100% CE-bleaching between a DualPi2 bottleneck and the RAN erases
+    // every congestion mark the core AQM applies. Prague then leans on the
+    // L4Span CU's short-circuit marking (applied after the wired path, so
+    // it cannot be bleached) and must keep a healthy share against a
+    // loss-based cubic competitor instead of starving.
+    auto run_cell = [](bool bleach) {
+        scenario::cell_spec cell;
+        cell.num_ues = 2;
+        cell.channel = "static";
+        cell.cu = scenario::cu_mode::l4span;
+        cell.seed = 11;
+        cell.bottleneck_bps = 60e6;
+        cell.bottleneck_aqm = "dualpi2";
+        if (bleach) cell.impair_dl.bleach_ce = 1.0;
+        scenario::cell_scenario s(cell);
+        scenario::flow_spec fp;
+        fp.cca = "prague";
+        fp.ue = 0;
+        const int hp = s.add_flow(fp);
+        scenario::flow_spec fc;
+        fc.cca = "cubic";
+        fc.ue = 1;
+        const int hc = s.add_flow(fc);
+        s.run(sim::from_sec(3));
+        return std::pair<double, double>(
+            static_cast<double>(s.delivered_bytes(hp)),
+            static_cast<double>(s.delivered_bytes(hc)));
+    };
+    const auto [prague, cubic] = run_cell(true);
+    EXPECT_GT(prague, 1e6) << "prague must keep moving data under bleaching";
+    EXPECT_GT(prague, 0.25 * cubic)
+        << "prague must not starve against cubic on a bleached path "
+        << "(prague=" << prague << " cubic=" << cubic << ")";
+    // Sanity: the run actually had both flows competing.
+    EXPECT_GT(cubic, 1e6);
 }
