@@ -34,6 +34,9 @@ namespace {
 struct impair_profile {
     std::string name;
     topo::impairment_spec dl;
+    // Arm L4Span's drop-based fallback (§4.4): the only congestion signal
+    // left for flows the path stripped to Not-ECT.
+    bool drop_non_ecn = false;
 };
 
 std::vector<impair_profile> make_profiles()
@@ -54,6 +57,14 @@ std::vector<impair_profile> make_profiles()
         topo::impairment_spec s;
         s.strip_ect = 1.0;  // path declares the flow non-ECN-capable
         out.push_back({"strip", s});
+    }
+    {
+        // Same stripped path, but the CU sheds queue instead of letting the
+        // demoted flow sit in a seconds-deep RLC backlog — the strip rows'
+        // OWD collapse is the deployability argument for the knob.
+        topo::impairment_spec s;
+        s.strip_ect = 1.0;
+        out.push_back({"strip+drop", s, /*drop_non_ecn=*/true});
     }
     {
         topo::impairment_spec s;
@@ -109,6 +120,7 @@ point_result run_point(const grid_point& p, int ues, sim::tick duration)
     cell.bottleneck_aqm = "dualpi2";  // a core router whose CE can be bleached
     cell.impair_dl = p.profile->dl;
     cell.impair_dl.force_stage = true;  // "clean" exercises the pass-through
+    cell.l4s.drop_non_ecn = p.profile->drop_non_ecn;
     if (p.cross) {
         topo::cross_traffic_spec bg;
         bg.model = "poisson";
@@ -165,7 +177,7 @@ int main(int argc, char** argv)
     sim::tick duration = sim::from_sec(5);
     if (args.quick) {  // CI slice: 2 transports x 3 profiles, cross on
         ccas = {{"prague", "tcp-prague"}, {"quic-prague", "quic-prague"}};
-        selected = {&profiles[0], &profiles[1], &profiles[3]};  // clean/bleach/strip
+        selected = {&profiles[0], &profiles[3], &profiles[4]};  // clean/strip/strip+drop
         cross_opts = {true};
         ues = 2;
         duration = sim::from_sec(2);

@@ -57,11 +57,11 @@ fi
 
 # Benches that understand --jobs/--quick/--json (grid_runner- or
 # topology-sharded).
-grid_benches="bench_ecn_impairment bench_fig09_tcp_grid bench_fig13_video \
-bench_fig14_fairness bench_fig16_shared_drb bench_fig17_queue_cdf \
-bench_fig18_coherence bench_fig19_threshold bench_fig24_bbr_reno \
-bench_mc_handover bench_quic_interactive bench_tab1_overhead \
-bench_trace_replay"
+grid_benches="bench_ecn_impairment bench_fault_chaos bench_fig09_tcp_grid \
+bench_fig13_video bench_fig14_fairness bench_fig16_shared_drb \
+bench_fig17_queue_cdf bench_fig18_coherence bench_fig19_threshold \
+bench_fig24_bbr_reno bench_mc_handover bench_quic_interactive \
+bench_tab1_overhead bench_trace_replay"
 
 is_grid_bench() {
     for g in $grid_benches; do
@@ -82,6 +82,7 @@ for bin in "$build_dir"/bench_*; do
         # bench_fig09_tcp_grid -> fig09; bench_tab1_overhead -> tab1
         case "$name" in
             bench_ecn_impairment) fig=ecn_impairment ;;
+            bench_fault_chaos) fig=fault_chaos ;;
             bench_mc_handover) fig=mc_handover ;;
             bench_quic_interactive) fig=quic_interactive ;;
             bench_trace_replay) fig=trace_replay ;;

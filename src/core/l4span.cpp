@@ -131,6 +131,16 @@ bool l4span::on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb_id
     const bool hit = rng_.bernoulli(p);
 
     if (pkt.is_tcp() && cfg_.short_circuit) {
+        // Drop-based fallback for flows the path declared non-ECN-capable
+        // (§4.2 "fall back to dropping"): a stripped TCP flow gets no ACK
+        // rewrite (no ECT bytes to count, no CE to invent), so without the
+        // drop it would receive no congestion signal at all and sit in a
+        // deep RLC queue. `hit` was drawn above either way, so runs with
+        // the knob off are byte-identical.
+        if (hit && pkt.ecn_field == net::ecn::not_ect && cfg_.drop_non_ecn) {
+            ++drops_;
+            return false;
+        }
         // Tentative mark: bookkeeping only; the signal is injected into the
         // uplink ACK stream (§4.4), skipping the RLC queue's sojourn. The
         // bookkeeping mirrors what an honest AccECN receiver would count, so
@@ -198,7 +208,12 @@ bool l4span::on_ul_packet(net::packet& pkt, ran::rnti_t /*ue*/, sim::tick /*now*
 void l4span::on_delivery_status(const ran::dl_delivery_status& st, sim::tick now)
 {
     ++feedback_events_;
-    drb_state& d = drb(st.ue, st.drb);
+    // Find-only: a status about an RNTI whose state was invalidated (RLF
+    // re-establishment) or migrated away must not resurrect an empty entry
+    // under the dead key — packets create state, feedback never does.
+    const auto it = drbs_.find(drb_key(st.ue, st.drb));
+    if (it == drbs_.end()) return;
+    drb_state& d = it->second;
     if (st.has_transmitted) {
         d.table.on_transmitted(st.highest_transmitted_sn, st.timestamp,
                                [&](ran::pdcp_sn_t, std::uint32_t bytes) {
@@ -216,7 +231,10 @@ void l4span::on_delivery_status(const ran::dl_delivery_status& st, sim::tick now
 void l4span::on_dl_discard(ran::rnti_t ue, ran::drb_id_t drb_id, ran::pdcp_sn_t sn,
                            sim::tick /*now*/)
 {
-    drb(ue, drb_id).table.on_discard(sn);
+    // Find-only, like on_delivery_status: late discards for a dead RNTI
+    // must not re-create state.
+    const auto it = drbs_.find(drb_key(ue, drb_id));
+    if (it != drbs_.end()) it->second.table.on_discard(sn);
 }
 
 struct l4span::migrated : ran::cu_hook::ue_state {
@@ -295,6 +313,22 @@ l4span::drb_view l4span::view(ran::rnti_t ue, ran::drb_id_t drb_id) const
     v.has_l4s = d->has_l4s;
     v.has_classic = d->has_classic;
     return v;
+}
+
+std::vector<ran::rnti_t> l4span::tracked_ues() const
+{
+    std::vector<ran::rnti_t> out;
+    for (const auto& [key, d] : drbs_) {
+        (void)d;
+        out.push_back(static_cast<ran::rnti_t>(key >> 8));
+    }
+    for (const auto& [ft, fs] : flows_) {
+        (void)ft;
+        out.push_back(fs.ue);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
 }
 
 std::size_t l4span::resident_state_bytes() const

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "core/egress_estimator.h"
 #include "core/marking.h"
@@ -126,6 +127,11 @@ public:
         bool has_classic = false;
     };
     drb_view view(ran::rnti_t ue, ran::drb_id_t drb) const;
+
+    // RNTIs holding any per-DRB or per-flow state, sorted — the chaos-soak
+    // "no leaked flow-table entries" invariant compares this against the
+    // gNB's active RNTIs (detached/invalidated UEs must not appear).
+    std::vector<ran::rnti_t> tracked_ues() const;
 
     std::uint64_t marks() const { return marks_; }
     std::uint64_t drops() const { return drops_; }

@@ -126,6 +126,13 @@ ue_handover_context gnb::detach_ue(rnti_t ue)
     u.drbs.clear();
     u.pending_retx.clear();
     u.active = false;
+    u.in_outage = false;
+    u.harq_fail_streak = 0;
+    u.rlf_declared = false;
+    if (u.rlf_timer_id) {
+        loop_.cancel(u.rlf_timer_id);
+        u.rlf_timer_id = 0;
+    }
     by_rnti_.erase(ue);
     return ctx;
 }
@@ -146,6 +153,80 @@ rnti_t gnb::attach_ue(ue_handover_context ctx)
     }
     for (const auto& [qfi, drb] : ctx.qfi_map) u.sdap.map(qfi, drb);
     return rnti;
+}
+
+void gnb::begin_outage(rnti_t ue)
+{
+    ue_ctx* up = try_ue(ue);
+    if (!up || up->in_outage) return;  // detached meanwhile, or already failing
+    ue_ctx& u = *up;
+    u.in_outage = true;
+    u.harq_fail_streak = 0;
+    // Supervision-timer fallback (T310-style): a UE with no downlink
+    // backlog produces no HARQ evidence, so radio-link monitoring declares
+    // the failure after the timer. HARQ failures usually beat it.
+    const rnti_t rnti = u.rnti;
+    u.rlf_timer_id = loop_.schedule_after(cfg_.rlf_timer, [this, rnti] {
+        if (ue_ctx* uc = try_ue(rnti)) {
+            uc->rlf_timer_id = 0;
+            declare_rlf(*uc);
+        }
+    });
+}
+
+void gnb::end_outage(rnti_t ue)
+{
+    ue_ctx* up = try_ue(ue);
+    if (!up || !up->in_outage) return;  // RLF detection already detached it
+    ue_ctx& u = *up;
+    u.in_outage = false;
+    u.harq_fail_streak = 0;
+    if (u.rlf_timer_id) {
+        loop_.cancel(u.rlf_timer_id);
+        u.rlf_timer_id = 0;
+    }
+    // A declared-but-not-yet-detached UE stays declared: the RLF handler's
+    // re-establishment is already in flight and owns the recovery.
+}
+
+bool gnb::in_outage(rnti_t ue)
+{
+    ue_ctx* up = try_ue(ue);
+    return up && up->in_outage;
+}
+
+void gnb::declare_rlf(ue_ctx& u)
+{
+    if (u.rlf_declared) return;
+    u.rlf_declared = true;
+    if (u.rlf_timer_id) {
+        loop_.cancel(u.rlf_timer_id);
+        u.rlf_timer_id = 0;
+    }
+    if (!on_rlf_) return;
+    // Fire from a fresh event: the declaration can come from the middle of
+    // conclude_tb, and the handler will typically detach the UE (destroying
+    // the bearer entities around the caller's feet).
+    const rnti_t rnti = u.rnti;
+    loop_.schedule_after(0, [this, rnti] {
+        if (try_ue(rnti) && on_rlf_) on_rlf_(rnti, loop_.now());
+    });
+}
+
+std::size_t gnb::active_ues() const
+{
+    std::size_t n = 0;
+    for (const auto& u : ues_)
+        if (u->active) ++n;
+    return n;
+}
+
+std::vector<rnti_t> gnb::active_rntis() const
+{
+    std::vector<rnti_t> out;
+    for (const auto& u : ues_)
+        if (u->active) out.push_back(u->rnti);
+    return out;
 }
 
 void gnb::set_delay_handler(rlc_tx::delay_handler h)
@@ -192,6 +273,7 @@ void gnb::send_uplink(rnti_t ue, net::packet pkt)
     ue_ctx* up = try_ue(ue);
     if (!up) return;  // detached mid-handover: the uplink packet is lost
     ue_ctx& u = *up;
+    if (u.in_outage) return;  // radio blackout: the uplink is dead too
     const sim::tick period = cfg_.mac.slot * cfg_.mac.tdd_period_slots;
     const sim::tick wait = period - (loop_.now() % period);
     const sim::tick jitter =
@@ -344,8 +426,20 @@ void gnb::conclude_tb(harq_tb tb)
     // its SDUs were forwarded in the handover context, so drop the straggler.
     ue_ctx* u = try_ue(tb.ue);
     if (!u) return;
-    const double bler = tb.attempt == 1 ? cfg_.mac.initial_bler : cfg_.mac.retx_bler;
-    if (!rng_.bernoulli(bler)) {
+    bool decoded;
+    if (u->in_outage) {
+        // Radio blackout: every TB fails, without consuming an RNG draw so
+        // other UEs' HARQ randomness is undisturbed. Consecutive failed
+        // conclusions are the out-of-sync evidence RLF detection counts.
+        decoded = false;
+        if (++u->harq_fail_streak >= cfg_.rlf_consecutive_harq) declare_rlf(*u);
+    } else {
+        const double bler =
+            tb.attempt == 1 ? cfg_.mac.initial_bler : cfg_.mac.retx_bler;
+        decoded = !rng_.bernoulli(bler);
+        if (decoded) u->harq_fail_streak = 0;
+    }
+    if (decoded) {
         // Decoded: the UE's RLC sees the chunks after the over-the-air delay.
         loop_.schedule_after(
             cfg_.mac.ota_delay,

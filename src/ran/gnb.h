@@ -28,6 +28,12 @@ struct gnb_config {
     sim::tick f1u_latency = 0;          // CU and DU co-located by default
     sim::tick core_latency = sim::from_ms(1);  // UPF/GTP-U hop
     sim::tick ul_proc_jitter = sim::from_ms(2);
+    // Radio link failure detection during an injected outage: declared after
+    // this many consecutive failed TB conclusions (out-of-sync evidence), or
+    // after the T310-style supervision timer for a UE with no downlink
+    // backlog — whichever comes first.
+    int rlf_consecutive_harq = 8;
+    sim::tick rlf_timer = sim::from_ms(200);
 };
 
 // X2/Xn handover context: everything a target cell needs to resume serving
@@ -66,6 +72,9 @@ public:
     // Plug chan::trace_recorder::on_link_slot here to capture a run.
     using linklog_handler =
         std::function<void(rnti_t, sim::tick, int, int, std::uint32_t)>;
+    // (ue, now): the gNB declared radio link failure for the UE (called at
+    // most once per outage; the handler is expected to detach the UE).
+    using rlf_handler = std::function<void(rnti_t, sim::tick)>;
 
     gnb(sim::event_loop& loop, gnb_config cfg, sim::rng rng);
 
@@ -90,7 +99,18 @@ public:
     rnti_t attach_ue(ue_handover_context ctx);
     bool has_ue(rnti_t ue) const { return by_rnti_.count(ue) != 0; }
 
+    // --- fault injection: radio outage + RLF detection ---
+    // The UE's radio link collapses: every TB concluded while in outage
+    // fails (no RNG draw, so the HARQ randomness of other UEs is
+    // undisturbed), and the gNB detects RLF via rlf_consecutive_harq failed
+    // conclusions or the rlf_timer fallback, then fires the rlf_handler
+    // once. Both calls are safe no-ops for unknown/detached RNTIs.
+    void begin_outage(rnti_t ue);
+    void end_outage(rnti_t ue);
+    bool in_outage(rnti_t ue);
+
     void set_cu_hook(cu_hook* hook) { hook_ = hook; }
+    void set_rlf_handler(rlf_handler h) { on_rlf_ = std::move(h); }
     void set_deliver_handler(deliver_handler h) { on_deliver_ = std::move(h); }
     void set_uplink_handler(uplink_handler h) { on_uplink_ = std::move(h); }
     void set_txlog_handler(txlog_handler h) { on_txlog_ = std::move(h); }
@@ -111,6 +131,11 @@ public:
     double current_snr_db(rnti_t ue);
     int current_mcs(rnti_t ue);
     std::size_t num_ues() const { return ues_.size(); }
+    // Attached (non-tombstone) UEs, in stable scheduler-index order — the
+    // chaos-soak "no dangling RNTI" invariant compares this against the
+    // scenario layer's view.
+    std::size_t active_ues() const;
+    std::vector<rnti_t> active_rntis() const;
     const gnb_config& config() const { return cfg_; }
     std::uint64_t slots_elapsed() const { return slot_count_; }
 
@@ -146,9 +171,16 @@ private:
         // Detached by handover: the slot stays (the PRB allocator's dense
         // index space never shrinks) but carries no bearers or backlog.
         bool active = true;
+        // Injected radio outage (fault injection): TBs fail, RLF detection
+        // is armed. Cleared by end_outage or detach.
+        bool in_outage = false;
+        int harq_fail_streak = 0;
+        bool rlf_declared = false;
+        sim::event_loop::event_id rlf_timer_id = 0;
     };
 
     rnti_t add_ue_impl(std::unique_ptr<chan::link_model> link);
+    void declare_rlf(ue_ctx& u);
     void on_slot();
     void transmit_tb(ue_ctx& ue, drb_ctx& drb, std::vector<tb_chunk> chunks,
                      std::uint32_t bytes, int prbs, int attempt);
@@ -170,6 +202,7 @@ private:
     cu_hook* hook_ = nullptr;
     deliver_handler on_deliver_;
     uplink_handler on_uplink_;
+    rlf_handler on_rlf_;
     txlog_handler on_txlog_;
     linklog_handler on_linklog_;
     rlc_tx::delay_handler on_delay_;

@@ -384,12 +384,22 @@ bool cell::has_ue(ran::rnti_t ue) const
     return gnb_->has_ue(ue);
 }
 
-ran::ue_handover_context cell::detach_ue(ran::rnti_t ue)
+ran::ue_handover_context cell::detach_ue(ran::rnti_t ue, hook_transfer ht)
 {
     auto ctx = gnb_->detach_ue(ue);
-    if (hook_) ctx.hook_state = hook_->detach_ue(ue);
+    if (hook_) {
+        // detach removes every entry keyed to the RNTI either way; only
+        // `migrate` keeps the state alive for the target cell's entity.
+        auto st = hook_->detach_ue(ue);
+        if (ht == hook_transfer::migrate) ctx.hook_state = std::move(st);
+    }
     rec(ue).attached = false;  // stats freeze; the record stays queryable
     return ctx;
+}
+
+void cell::set_rlf_handler(ran::gnb::rlf_handler h)
+{
+    gnb_->set_rlf_handler(std::move(h));
 }
 
 ran::rnti_t cell::attach_ue(ran::ue_handover_context ctx)

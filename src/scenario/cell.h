@@ -64,6 +64,11 @@ struct cell_spec {
     // "dualpi2" (an L4S-aware core router whose CE marks a downstream
     // impairment stage can bleach). Consumed by cell_scenario only.
     std::string bottleneck_aqm = "fifo";
+    // Optional uplink bottleneck on the server-side return path (FIFO):
+    // ACKs and uplink feedback serialize through it, so a congested return
+    // hop delays the downlink control loop. 0 keeps the return path
+    // latency-only, exactly as before. Consumed by cell_scenario only.
+    double ul_bottleneck_bps = 0.0;
     // Wired-path impairments (topo::path_impairment), per direction. The
     // downlink stage sits after the core bottleneck and before the RAN; the
     // uplink stage sits on the server-side return path. All-off specs mount
@@ -71,8 +76,10 @@ struct cell_spec {
     topo::impairment_spec impair_dl;
     topo::impairment_spec impair_ul;
     // Unresponsive wired background senders sharing the core bottleneck
-    // (requires bottleneck_bps > 0). Consumed by cell_scenario only;
-    // scenario::topology has no shared wired bottleneck and rejects these.
+    // (requires bottleneck_bps > 0), or — per-entry, with spec.uplink — the
+    // uplink return bottleneck (requires ul_bottleneck_bps > 0). Consumed
+    // by cell_scenario only; scenario::topology has no shared wired
+    // bottleneck and rejects these.
     std::vector<topo::cross_traffic_spec> cross_traffic;
 };
 
@@ -193,9 +200,23 @@ public:
     void send_uplink(ran::rnti_t ue, net::packet pkt);
     bool has_ue(ran::rnti_t ue) const;
 
-    // --- X2/Xn handover ---
-    ran::ue_handover_context detach_ue(ran::rnti_t ue);
+    // --- X2/Xn handover + fault recovery ---
+    // What happens to the CU hook's per-UE marking state at detach:
+    // `migrate` exports it into the context (normal handover — carrying it
+    // forward prevents the post-handover marking glitch); `invalidate`
+    // removes and discards it (RLF re-establishment — the forwarded SN
+    // space restarts, so stale profile/estimator state would be wrong, and
+    // dropping it guarantees no leaked flow-table entries under the dead
+    // RNTI). Either way the entity holds nothing keyed to the old RNTI.
+    enum class hook_transfer : std::uint8_t { migrate, invalidate };
+    ran::ue_handover_context detach_ue(ran::rnti_t ue,
+                                       hook_transfer ht = hook_transfer::migrate);
     ran::rnti_t attach_ue(ran::ue_handover_context ctx);
+
+    // --- fault injection (radio outage / RLF) ---
+    void begin_radio_outage(ran::rnti_t ue) { gnb_->begin_outage(ue); }
+    void end_radio_outage(ran::rnti_t ue) { gnb_->end_outage(ue); }
+    void set_rlf_handler(ran::gnb::rlf_handler h);
 
     void set_deliver_handler(ran::gnb::deliver_handler h);
     void set_uplink_handler(ran::gnb::uplink_handler h);

@@ -28,14 +28,24 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
 {
     spec_.impair_dl.validate("cell_spec.impair_dl");
     spec_.impair_ul.validate("cell_spec.impair_ul");
-    for (std::size_t i = 0; i < spec_.cross_traffic.size(); ++i)
+    bool any_dl_cross = false, any_ul_cross = false;
+    for (std::size_t i = 0; i < spec_.cross_traffic.size(); ++i) {
         spec_.cross_traffic[i].validate("cell_spec.cross_traffic[" +
                                         std::to_string(i) + "]");
-    if (!spec_.cross_traffic.empty() && spec_.bottleneck_bps <= 0.0)
+        (spec_.cross_traffic[i].uplink ? any_ul_cross : any_dl_cross) = true;
+    }
+    if (any_dl_cross && spec_.bottleneck_bps <= 0.0)
         throw std::invalid_argument(
             "cell_spec.cross_traffic: background senders share the core "
             "bottleneck, so set bottleneck_bps > 0 (there is no queue to "
             "compete for otherwise)");
+    if (any_ul_cross && spec_.ul_bottleneck_bps <= 0.0)
+        throw std::invalid_argument(
+            "cell_spec.cross_traffic: uplink background senders share the "
+            "return-path bottleneck, so set ul_bottleneck_bps > 0 (the "
+            "latency-only return path has no queue to compete for)");
+    if (spec_.ul_bottleneck_bps < 0.0)
+        throw std::invalid_argument("cell_spec.ul_bottleneck_bps must be >= 0");
 
     cell_ = std::make_unique<scenario::cell>(loop_, spec_);
 
@@ -61,8 +71,21 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
     if (impair_ul_)
         impair_ul_->set_deliver([this](net::packet pkt) { uplink_arrival(std::move(pkt)); });
 
+    // Uplink return path: RAN -> [uplink bottleneck] -> [uplink impairment]
+    // -> per-flow reverse wired hop back to the sender. The bottleneck sits
+    // first, where the cell's aggregate ACK stream (and any uplink cross
+    // traffic) serializes onto the return hop.
+    if (spec_.ul_bottleneck_bps > 0.0) {
+        ul_bottleneck_ = std::make_unique<topo::wired_link>(
+            loop_, spec_.ul_bottleneck_bps, sim::from_ms(1));
+        ul_bottleneck_->set_deliver([this](net::packet pkt) {
+            if (impair_ul_) impair_ul_->send(std::move(pkt));
+            else uplink_arrival(std::move(pkt));
+        });
+    }
     cell_->set_uplink_handler([this](ran::rnti_t, net::packet pkt, sim::tick) {
-        if (impair_ul_) impair_ul_->send(std::move(pkt));
+        if (ul_bottleneck_) ul_bottleneck_->send(std::move(pkt));
+        else if (impair_ul_) impair_ul_->send(std::move(pkt));
         else uplink_arrival(std::move(pkt));
     });
 
@@ -79,14 +102,20 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
         });
         for (const auto& [when, bps] : spec_.bottleneck_schedule)
             loop_.schedule_at(when, [this, bps = bps] { bottleneck_->set_rate(bps); });
-        for (std::size_t i = 0; i < spec_.cross_traffic.size(); ++i) {
-            cross_.push_back(std::make_unique<topo::cross_traffic>(
-                loop_, spec_.cross_traffic[i],
-                topo::impairment_seed(spec_.seed, /*lane=*/64 + i, false),
-                static_cast<std::uint32_t>(i),
-                [this](net::packet pkt) { bottleneck_->send(std::move(pkt)); }));
-            cross_.back()->start();
-        }
+    }
+    for (std::size_t i = 0; i < spec_.cross_traffic.size(); ++i) {
+        // Uplink generators inject into the return bottleneck (their
+        // packets sink in uplink_arrival's unknown-flow check); downlink
+        // ones into the core bottleneck as before. Each direction draws an
+        // independent seed stream.
+        const bool ul = spec_.cross_traffic[i].uplink;
+        topo::wired_link* link = ul ? ul_bottleneck_.get() : bottleneck_.get();
+        cross_.push_back(std::make_unique<topo::cross_traffic>(
+            loop_, spec_.cross_traffic[i],
+            topo::impairment_seed(spec_.seed, /*lane=*/64 + i, ul),
+            static_cast<std::uint32_t>(i),
+            [link](net::packet pkt) { link->send(std::move(pkt)); }));
+        cross_.back()->start();
     }
 }
 

@@ -78,6 +78,9 @@ public:
         return bottleneck_ ? bottleneck_->queue().marks() : 0;
     }
     std::uint64_t cross_traffic_packets() const;
+    // The uplink return-path bottleneck (nullptr when ul_bottleneck_bps
+    // is 0 and the return path is latency-only).
+    const topo::wired_link* ul_bottleneck() const { return ul_bottleneck_.get(); }
 
 private:
     struct flow_rt {
@@ -97,6 +100,7 @@ private:
     sim::event_loop loop_;
     std::unique_ptr<scenario::cell> cell_;
     std::unique_ptr<topo::wired_link> bottleneck_;
+    std::unique_ptr<topo::wired_link> ul_bottleneck_;
     std::unique_ptr<topo::path_impairment> impair_dl_;
     std::unique_ptr<topo::path_impairment> impair_ul_;
     std::vector<std::unique_ptr<topo::cross_traffic>> cross_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace l4span::scenario {
 
@@ -11,6 +12,22 @@ namespace {
 sim::tick slot_aligned(sim::tick latency, sim::tick slot)
 {
     return (latency / slot) * slot;
+}
+
+// What survives a lost X2 context transfer: the UE's own bearer
+// configuration and channel profile. SN status, forwarded SDUs and the CU
+// hook state were in the dropped message — RLC/PDCP restart from SN 1 and
+// the transports retransmit whatever was in flight end-to-end, so every
+// SDU is either delivered once or counted lost, never duplicated.
+ran::ue_handover_context strip_transfer_state(ran::ue_handover_context ctx)
+{
+    for (auto& d : ctx.drbs) {
+        d.tx = {};
+        d.rx = {};
+        d.pdcp_next_sn = 1;
+    }
+    ctx.hook_state.reset();
+    return ctx;
 }
 }  // namespace
 
@@ -28,6 +45,9 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
             "no shared wired bottleneck for background senders to compete "
             "for — cross-traffic is a cell_scenario feature (like "
             "bottleneck_bps)");
+
+    if (spec_.wired_bps < 0.0)
+        throw std::invalid_argument("topology: wired_bps must be >= 0");
 
     const sim::tick slot = ran::mac_config{}.slot;
     const sim::tick min_latency = std::min(
@@ -67,9 +87,31 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
             impair_ul_.back()->set_deliver(
                 [this](net::packet pkt) { uplink_arrival(std::move(pkt)); });
         }
+        if (spec_.wired_bps > 0.0) {
+            // A real (rate-limited, FIFO-buffered) server->core hop; the
+            // flow's wired_owd propagation follows the serialization. This
+            // is the link that link_flap faults stall and recover.
+            wired_dl_.push_back(std::make_unique<topo::wired_link>(
+                shards_->loop(static_cast<std::size_t>(c)), spec_.wired_bps, 0));
+            wired_dl_.back()->set_deliver([this](net::packet pkt) {
+                const std::size_t f = pkt.flow_id;
+                if (f >= flows_.size()) return;
+                flow_rt& fl = *flows_[f];
+                shards_->loop(static_cast<std::size_t>(fl.home))
+                    .schedule_after(fl.wired_owd,
+                                    [this, f, pkt = std::move(pkt)]() mutable {
+                                        route_downlink(f, std::move(pkt));
+                                    });
+            });
+        }
         cells_.push_back(std::make_unique<scenario::cell>(
             shards_->loop(static_cast<std::size_t>(c)), std::move(cs), c));
     }
+
+    cell_down_.assign(static_cast<std::size_t>(spec_.num_cells),
+                      std::vector<std::uint8_t>(
+                          static_cast<std::size_t>(spec_.num_cells), 0));
+    cell_rnti_ue_.resize(static_cast<std::size_t>(spec_.num_cells));
 
     for (int c = 0; c < spec_.num_cells; ++c) {
         for (int u = 0; u < spec_.ues_per_cell; ++u) {
@@ -78,6 +120,8 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
             e->serving = c;
             e->rnti = cells_[static_cast<std::size_t>(c)]->rnti_of(
                 static_cast<std::size_t>(u));
+            cell_rnti_ue_[static_cast<std::size_t>(c)][e->rnti] =
+                static_cast<int>(ues_.size());
             ues_.push_back(std::move(e));
         }
     }
@@ -96,6 +140,8 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
                                   flows_[f]->ep.on_downlink(pkt);
                               });
             });
+        cp->set_rlf_handler(
+            [this, c](ran::rnti_t rnti, sim::tick) { on_rlf(c, rnti); });
         cp->set_uplink_handler([this](ran::rnti_t, net::packet pkt, sim::tick now) {
             const std::size_t f = pkt.flow_id;
             if (f >= flows_.size()) return;
@@ -138,8 +184,15 @@ int topology::add_flow(flow_spec fspec)
         // Runs on the home shard (the sender lives there).
         pkt.flow_id = static_cast<std::uint64_t>(handle);
         flow_rt& fl = *flows_[static_cast<std::size_t>(handle)];
-        shards_->loop(static_cast<std::size_t>(fl.home))
-            .schedule_after(fl.wired_owd, [this, handle, pkt = std::move(pkt)]() mutable {
+        const std::size_t home = static_cast<std::size_t>(fl.home);
+        if (home < wired_dl_.size()) {
+            // Serialization at the wired hop's line rate; the flow's
+            // wired_owd propagation is added by the link's deliver handler.
+            wired_dl_[home]->send(std::move(pkt));
+            return;
+        }
+        shards_->loop(home).schedule_after(
+            fl.wired_owd, [this, handle, pkt = std::move(pkt)]() mutable {
                 route_downlink(static_cast<std::size_t>(handle), std::move(pkt));
             });
     };
@@ -229,50 +282,362 @@ void topology::apply(const std::vector<topo::handover_event>& plan)
     for (const auto& ev : plan) schedule_handover(ev.when, ev.ue, ev.target_cell);
 }
 
+void topology::apply_faults(const topo::fault_plan& plan)
+{
+    if (ran_) throw std::logic_error("topology: apply_faults after run");
+    if (faults_applied_)
+        throw std::logic_error("topology: apply_faults called twice");
+    const auto& cfg = plan.config();
+    if (cfg.num_cells != spec_.num_cells || cfg.ues_per_cell != spec_.ues_per_cell)
+        throw std::invalid_argument(
+            "topology: fault plan shaped for a different topology "
+            "(num_cells/ues_per_cell mismatch)");
+    if (plan.count(topo::fault_class::link_flap) > 0 && wired_dl_.empty())
+        throw std::invalid_argument(
+            "topology: link_flap faults stall the wired server->core hop — "
+            "set topology_spec.wired_bps > 0 to mount it");
+    for (const auto& ev : plan.schedule()) {
+        if (ev.cls != topo::fault_class::impairment_swap) continue;
+        if ((ev.uplink ? impair_ul_ : impair_dl_).empty())
+            throw std::invalid_argument(
+                std::string("topology: impairment_swap faults need a mounted ") +
+                (ev.uplink ? "uplink" : "downlink") +
+                " stage — set force_stage or an active knob on "
+                "cell_spec.impair_dl/impair_ul");
+    }
+    faults_applied_ = true;
+    injector_ = std::make_unique<sim::fault_injector>(topo::k_num_fault_classes);
+
+    for (const auto& ev : plan.schedule()) {
+        const std::size_t cls = static_cast<std::size_t>(ev.cls);
+        switch (ev.cls) {
+        case topo::fault_class::rlf: {
+            const std::size_t home =
+                static_cast<std::size_t>(ues_.at(static_cast<std::size_t>(ev.ue))->home);
+            injector_->arm(shards_->loop(home), ev.when, cls,
+                           [this, ue = ev.ue, d = ev.duration] { inject_rlf(ue, d); });
+            break;
+        }
+        case topo::fault_class::handover_failure: {
+            const std::size_t home =
+                static_cast<std::size_t>(ues_.at(static_cast<std::size_t>(ev.ue))->home);
+            injector_->arm(shards_->loop(home), ev.when, cls,
+                           [this, ue = ev.ue, m = ev.mode] { inject_ho_failure(ue, m); });
+            break;
+        }
+        case topo::fault_class::cell_outage: {
+            const int c = ev.cell;
+            // Every shard flips its private down-flag copy at the same two
+            // ticks and, acting as home shard, evacuates/repatriates its
+            // own UEs. Only the owning shard's event counts as injected.
+            for (int s = 0; s < num_cells(); ++s) {
+                auto down = [this, s, c] {
+                    cell_down_[static_cast<std::size_t>(s)]
+                              [static_cast<std::size_t>(c)] = 1;
+                    evacuate_cell(s, c);
+                };
+                if (s == c)
+                    injector_->arm(shards_->loop(static_cast<std::size_t>(s)),
+                                   ev.when, cls, std::move(down));
+                else
+                    shards_->loop(static_cast<std::size_t>(s))
+                        .schedule_at(ev.when, std::move(down));
+                shards_->loop(static_cast<std::size_t>(s))
+                    .schedule_at(ev.when + ev.duration, [this, s, c] {
+                        cell_down_[static_cast<std::size_t>(s)]
+                                  [static_cast<std::size_t>(c)] = 0;
+                        repatriate_cell(s, c);
+                    });
+            }
+            break;
+        }
+        case topo::fault_class::link_flap: {
+            const std::size_t c = static_cast<std::size_t>(ev.cell);
+            injector_->arm(shards_->loop(c), ev.when, cls,
+                           [this, c] { wired_dl_[c]->set_rate(0.0); });
+            // The plan's per-cell flap stream never overlaps itself, so
+            // this recovery cannot re-enable a later flap's stall.
+            shards_->loop(c).schedule_at(ev.when + ev.duration, [this, c] {
+                wired_dl_[c]->set_rate(spec_.wired_bps);
+            });
+            break;
+        }
+        case topo::fault_class::impairment_swap: {
+            const std::size_t c = static_cast<std::size_t>(ev.cell);
+            topo::path_impairment* st =
+                ev.uplink ? impair_ul_[c].get() : impair_dl_[c].get();
+            injector_->arm(shards_->loop(c), ev.when, cls,
+                           [st, spec = ev.impair] { st->set_spec(spec); });
+            break;
+        }
+        }
+    }
+}
+
+void topology::inject_rlf(int ue, sim::tick duration)
+{
+    ue_entry& u = *ues_[static_cast<std::size_t>(ue)];
+    if (!u.attached) return;  // mid-handover or mid-blackout: nothing to fail
+    const std::size_t home_shard = static_cast<std::size_t>(u.home);
+    if (cell_down_[home_shard][static_cast<std::size_t>(u.serving)])
+        return;  // the cell is down and the UE is being evacuated anyway
+    scenario::cell* c = cells_[static_cast<std::size_t>(u.serving)].get();
+    const ran::rnti_t rnti = u.rnti;
+    const sim::tick now = shards_->loop(home_shard).now();
+    const sim::tick q = shards_->quantum();
+    u.outage_until = now + duration;
+    // The gNB observes the collapse one quantum later (the minimum
+    // cross-shard latency); if RLF detection detaches the UE first, the
+    // end_radio_outage for the dead RNTI is a no-op.
+    shards_->post(static_cast<std::size_t>(u.serving), now + q,
+                  [c, rnti] { c->begin_radio_outage(rnti); });
+    shards_->post(static_cast<std::size_t>(u.serving),
+                  now + std::max(duration, 2 * q),
+                  [c, rnti] { c->end_radio_outage(rnti); });
+}
+
+void topology::inject_ho_failure(int ue, topo::ho_failure_mode mode)
+{
+    ue_entry& u = *ues_[static_cast<std::size_t>(ue)];
+    if (!u.attached) return;  // mid-handover or mid-blackout: skip
+    const int tgt = pick_neighbor(u.serving, static_cast<std::size_t>(u.home));
+    if (tgt == u.serving) return;  // no healthy neighbor to attempt
+    u.sabotage_next_ho = true;
+    u.sabotage_mode = mode;
+    begin_handover(ue, tgt);  // consumes the sabotage flag
+}
+
+void topology::on_rlf(int cell, ran::rnti_t rnti)
+{
+    auto& map = cell_rnti_ue_[static_cast<std::size_t>(cell)];
+    const auto it = map.find(rnti);
+    if (it == map.end()) return;  // a racing handover already moved the UE
+    const int ue = it->second;
+    map.erase(it);
+    ++rlf_detected_;
+    // Re-establishment invalidates the hook state (stale profile/estimator
+    // state under the dead RNTI would be wrong, and removing it guarantees
+    // no leaked flow-table entries) but keeps the UE's RLC/PDCP context:
+    // unacked SDUs ride the re-attach and are delivered exactly once, as
+    // in PDCP data recovery.
+    auto ctx = cells_[static_cast<std::size_t>(cell)]->detach_ue(
+        rnti, scenario::cell::hook_transfer::invalidate);
+    const sim::tick now = shards_->loop(static_cast<std::size_t>(cell)).now();
+    const std::size_t home_shard =
+        static_cast<std::size_t>(ues_[static_cast<std::size_t>(ue)]->home);
+    shards_->post(home_shard, now + spec_.x2_latency,
+                  [this, ue, ctx = std::move(ctx)]() mutable {
+                      ue_entry& u = *ues_[static_cast<std::size_t>(ue)];
+                      u.attached = false;  // UPF holds traffic from here on
+                      u.blackout_start =
+                          shards_->loop(static_cast<std::size_t>(u.home)).now();
+                      schedule_reestablish(ue, std::move(ctx), -1);
+                  });
+}
+
+void topology::schedule_reestablish(int ue, ran::ue_handover_context ctx,
+                                    int preferred)
+{
+    const std::size_t home_shard =
+        static_cast<std::size_t>(ues_[static_cast<std::size_t>(ue)]->home);
+    shards_->loop(home_shard).schedule_after(
+        spec_.reestablish_backoff,
+        [this, ue, preferred, ctx = std::move(ctx)]() mutable {
+            do_reestablish(ue, std::move(ctx), preferred);
+        });
+}
+
+void topology::do_reestablish(int ue, ran::ue_handover_context ctx, int preferred)
+{
+    ue_entry& u = *ues_[static_cast<std::size_t>(ue)];
+    const std::size_t home_shard = static_cast<std::size_t>(u.home);
+    const sim::tick now = shards_->loop(home_shard).now();
+    int tgt = preferred >= 0 ? preferred : u.serving;
+    // Re-establishing toward a cell that is down — or toward the old
+    // serving cell while the UE's radio outage is still running — would
+    // fail again immediately: pick the lowest-indexed healthy neighbor.
+    if (cell_down_[home_shard][static_cast<std::size_t>(tgt)] ||
+        (tgt == u.serving && now < u.outage_until))
+        tgt = pick_neighbor(tgt, home_shard);
+    const std::size_t tgt_shard = static_cast<std::size_t>(tgt);
+    scenario::cell* t = cells_[tgt_shard].get();
+    shards_->post(
+        tgt_shard, now + spec_.x2_latency,
+        [this, ue, tgt, tgt_shard, t, ctx = std::move(ctx)]() mutable {
+            if (cell_down_[tgt_shard][static_cast<std::size_t>(tgt)]) {
+                // Went down while the request was in flight: back off at
+                // home and try again somewhere healthy.
+                const sim::tick tn = t->loop().now();
+                const std::size_t home = static_cast<std::size_t>(
+                    ues_[static_cast<std::size_t>(ue)]->home);
+                shards_->post(home, tn + spec_.x2_latency,
+                              [this, ue, ctx = std::move(ctx)]() mutable {
+                                  schedule_reestablish(ue, std::move(ctx), -1);
+                              });
+                return;
+            }
+            readmit(ue, tgt, std::move(ctx), switch_kind::reestablish);
+        });
+}
+
+void topology::evacuate_cell(int shard, int cell)
+{
+    // This shard, acting as home shard, hands its own UEs off the downed
+    // cell; other shards do the same for theirs at the same tick.
+    for (std::size_t i = 0; i < ues_.size(); ++i) {
+        ue_entry& u = *ues_[i];
+        if (u.home != shard) continue;  // not ours to touch
+        if (!u.attached || u.serving != cell) continue;
+        u.evac_return = cell;
+        begin_handover(static_cast<int>(i), pick_neighbor(cell, static_cast<std::size_t>(shard)));
+    }
+}
+
+void topology::repatriate_cell(int shard, int cell)
+{
+    for (std::size_t i = 0; i < ues_.size(); ++i) {
+        ue_entry& u = *ues_[i];
+        if (u.home != shard || u.evac_return != cell) continue;
+        u.evac_return = -1;
+        // A UE mid-handover or mid-blackout at recovery stays where it
+        // lands; only settled UEs return.
+        if (u.attached && u.serving != cell)
+            begin_handover(static_cast<int>(i), cell);
+    }
+}
+
+int topology::pick_neighbor(int avoid, std::size_t shard) const
+{
+    for (int c = 0; c < num_cells(); ++c)
+        if (c != avoid && !cell_down_[shard][static_cast<std::size_t>(c)])
+            return c;
+    return avoid;  // everything is down — stay put (degraded but safe)
+}
+
 void topology::begin_handover(int ue, int target)
 {
     ue_entry& u = *ues_[static_cast<std::size_t>(ue)];
     if (!u.attached || target == u.serving) return;  // mid-handover or no-op
+    const std::size_t home_shard = static_cast<std::size_t>(u.home);
+    if (cell_down_[home_shard][static_cast<std::size_t>(target)]) {
+        // Measurement reports would not have picked a cell that is down:
+        // redirect to the best healthy neighbor instead.
+        target = pick_neighbor(target, home_shard);
+        if (target == u.serving) return;
+    }
+    const bool fail = u.sabotage_next_ho;
+    const topo::ho_failure_mode mode = u.sabotage_mode;
+    u.sabotage_next_ho = false;
+    if (fail) ++ho_failures_;
     ++ho_started_;
     u.attached = false;
+    const int src_cell = u.serving;
     scenario::cell* src = cells_[static_cast<std::size_t>(u.serving)].get();
     scenario::cell* tgt = cells_[static_cast<std::size_t>(target)].get();
     const ran::rnti_t rnti = u.rnti;
     const std::size_t src_shard = static_cast<std::size_t>(u.serving);
     const std::size_t tgt_shard = static_cast<std::size_t>(target);
-    const std::size_t home_shard = static_cast<std::size_t>(u.home);
     const sim::tick now = shards_->loop(home_shard).now();
 
     // Leg 1 — handover command reaches the source cell, which exports the
     // UE context (SN status transfer + data forwarding + hook state). By
     // then every in-flight downlink/uplink packet for the UE has landed
     // (x2 >= core_hop/ue_stack), so the context captures all of them.
-    shards_->post(src_shard, now + spec_.x2_latency, [this, ue, src, tgt, tgt_shard,
-                                                      home_shard, rnti, target] {
-        auto ctx = src->detach_ue(rnti);
+    shards_->post(src_shard, now + spec_.x2_latency, [this, ue, src, tgt, src_shard,
+                                                      tgt_shard, home_shard, rnti,
+                                                      target, src_cell, fail, mode] {
+        // An RLF declared while the command was in flight already detached
+        // the UE; the re-establishment path owns the recovery then.
+        if (!src->has_ue(rnti)) return;
+        cell_rnti_ue_[static_cast<std::size_t>(src_cell)].erase(rnti);
+        const bool lose_ctx = fail && mode == topo::ho_failure_mode::reestablish;
+        auto ctx = src->detach_ue(rnti, lose_ctx
+                                            ? scenario::cell::hook_transfer::invalidate
+                                            : scenario::cell::hook_transfer::migrate);
         const sim::tick t1 = src->loop().now();
+        if (fail) {
+            if (mode == topo::ho_failure_mode::rollback) {
+                // The X2 transfer is lost; the source detects the missing
+                // acknowledgment after ho_failure_timeout and re-admits
+                // the UE with the exported state intact — every forwarded
+                // SDU comes back exactly once.
+                src->loop().schedule_after(
+                    spec_.ho_failure_timeout,
+                    [this, ue, src_cell, ctx = std::move(ctx)]() mutable {
+                        readmit(ue, src_cell, std::move(ctx), switch_kind::rollback);
+                    });
+            } else {
+                // The context is lost with the transfer: the UE falls back
+                // to RLF re-establishment toward the original target, with
+                // only what it knows itself (bearer config, no SN status).
+                shards_->post(
+                    home_shard, t1 + spec_.x2_latency,
+                    [this, ue, target,
+                     ctx = strip_transfer_state(std::move(ctx))]() mutable {
+                        ue_entry& uu = *ues_[static_cast<std::size_t>(ue)];
+                        uu.blackout_start =
+                            shards_->loop(static_cast<std::size_t>(uu.home)).now();
+                        schedule_reestablish(ue, std::move(ctx), target);
+                    });
+            }
+            return;
+        }
         // Leg 2 — context transfer to the target cell, which admits the UE
         // under a fresh RNTI and resumes the bearers.
-        shards_->post(tgt_shard, t1 + spec_.x2_latency,
-                      [this, ue, tgt, home_shard, target, ctx = std::move(ctx)]() mutable {
-                          const ran::rnti_t new_rnti = tgt->attach_ue(std::move(ctx));
-                          const sim::tick t2 = tgt->loop().now();
-                          // Leg 3 — path switch back to the UPF/home shard.
-                          shards_->post(home_shard, t2 + spec_.x2_latency,
-                                        [this, ue, target, new_rnti] {
-                                            finish_handover(ue, target, new_rnti);
-                                        });
-                      });
+        shards_->post(
+            tgt_shard, t1 + spec_.x2_latency,
+            [this, ue, tgt, tgt_shard, src_shard, src_cell, target,
+             ctx = std::move(ctx)]() mutable {
+                if (cell_down_[tgt_shard][static_cast<std::size_t>(target)]) {
+                    // The target went down while the context was in
+                    // flight: bounce it back to the source, which
+                    // re-admits the UE (a rollback).
+                    const sim::tick t2 = tgt->loop().now();
+                    shards_->post(src_shard, t2 + spec_.x2_latency,
+                                  [this, ue, src_cell, ctx = std::move(ctx)]() mutable {
+                                      readmit(ue, src_cell, std::move(ctx),
+                                              switch_kind::rollback);
+                                  });
+                    return;
+                }
+                readmit(ue, target, std::move(ctx), switch_kind::handover);
+            });
     });
 }
 
-void topology::finish_handover(int ue, int target, ran::rnti_t new_rnti)
+void topology::readmit(int ue, int cell, ran::ue_handover_context ctx,
+                       switch_kind kind)
+{
+    scenario::cell* c = cells_[static_cast<std::size_t>(cell)].get();
+    const ran::rnti_t new_rnti = c->attach_ue(std::move(ctx));
+    cell_rnti_ue_[static_cast<std::size_t>(cell)][new_rnti] = ue;
+    const sim::tick now = c->loop().now();
+    // Leg 3 — path switch back to the UPF/home shard (`home` is immutable,
+    // so the cross-shard read is safe).
+    const std::size_t home_shard =
+        static_cast<std::size_t>(ues_[static_cast<std::size_t>(ue)]->home);
+    shards_->post(home_shard, now + spec_.x2_latency, [this, ue, cell, new_rnti, kind] {
+        finish_path_switch(ue, cell, new_rnti, kind);
+    });
+}
+
+void topology::finish_path_switch(int ue, int target, ran::rnti_t new_rnti,
+                                  switch_kind kind)
 {
     ue_entry& u = *ues_[static_cast<std::size_t>(ue)];
     u.serving = target;
     u.rnti = new_rnti;
     u.attached = true;
-    ++ho_completed_;
+    switch (kind) {
+    case switch_kind::handover: ++ho_completed_; break;
+    case switch_kind::reestablish: ++reestablished_; break;
+    case switch_kind::rollback: ++ho_rollbacks_; break;
+    }
+    const sim::tick now = shards_->loop(static_cast<std::size_t>(u.home)).now();
+    if (u.blackout_start >= 0) {
+        u.recovery_samples.push_back(sim::to_ms(now - u.blackout_start));
+        u.blackout_start = -1;
+    }
     // Path switch: QUIC connections rotate to their next issued CID and
     // keep going — connection identity is the CID, not the path, so no
     // transport state migrates (TCP/media flows have nothing to do). Runs
@@ -387,6 +752,41 @@ const topo::path_impairment* topology::impair_ul_stage(int c) const
     return static_cast<std::size_t>(c) < impair_ul_.size()
                ? impair_ul_[static_cast<std::size_t>(c)].get()
                : nullptr;
+}
+
+std::uint64_t topology::faults_injected(topo::fault_class cls) const
+{
+    return injector_ ? injector_->injected(static_cast<std::size_t>(cls)) : 0;
+}
+
+std::uint64_t topology::faults_armed(topo::fault_class cls) const
+{
+    return injector_ ? injector_->armed(static_cast<std::size_t>(cls)) : 0;
+}
+
+std::vector<double> topology::recovery_ms() const
+{
+    std::vector<double> out;
+    for (const auto& u : ues_)
+        out.insert(out.end(), u->recovery_samples.begin(),
+                   u->recovery_samples.end());
+    return out;
+}
+
+const topo::wired_link* topology::wired_dl_link(int c) const
+{
+    if (c < 0 || c >= num_cells())
+        throw std::out_of_range("topology: wired link index out of range");
+    return static_cast<std::size_t>(c) < wired_dl_.size()
+               ? wired_dl_[static_cast<std::size_t>(c)].get()
+               : nullptr;
+}
+
+bool topology::cell_is_down(int cell) const
+{
+    if (cell < 0 || cell >= num_cells())
+        throw std::out_of_range("topology: cell index out of range");
+    return cell_down_[0][static_cast<std::size_t>(cell)] != 0;
 }
 
 }  // namespace l4span::scenario

@@ -30,11 +30,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "scenario/cell.h"
+#include "sim/fault_injector.h"
 #include "sim/shard_group.h"
+#include "topo/fault_plan.h"
 #include "topo/mobility_model.h"
+#include "topo/wired_link.h"
 
 namespace l4span::scenario {
 
@@ -49,6 +53,19 @@ struct topology_spec {
     sim::tick core_hop_latency = sim::from_ms(1);    // UPF -> gNB
     sim::tick ue_stack_latency = sim::from_us(500);  // modem <-> app
     sim::tick x2_latency = sim::from_ms(2);          // per X2/Xn leg
+
+    // --- fault-injection knobs (consumed by apply_faults) ---
+    // UE-side wait between losing service (RLF declared, or a handover's
+    // context transfer lost) and the re-establishment attach attempt.
+    sim::tick reestablish_backoff = sim::from_ms(100);
+    // How long the source cell waits for the (lost) X2 transfer
+    // acknowledgment before rolling the UE back.
+    sim::tick ho_failure_timeout = sim::from_ms(20);
+    // Line rate of the per-shard server->core wired hop. 0 (default)
+    // models the hop as latency-only, exactly as before; > 0 mounts a
+    // topo::wired_link with bounded FIFO buffering, which link_flap faults
+    // stall (set_rate(0)) and recover.
+    double wired_bps = 0.0;
 };
 
 class topology {
@@ -69,6 +86,14 @@ public:
     // already served by `target_cell` when it fires). Call before run().
     void schedule_handover(sim::tick when, int ue, int target_cell);
     void apply(const std::vector<topo::handover_event>& plan);
+
+    // Arms a deterministic chaos schedule (topo::fault_plan) through a
+    // sim::fault_injector: every injection point is pre-armed on the loop
+    // that owns the affected state, so runs stay byte-identical for any
+    // `jobs`. Call once, before run(). Throws std::invalid_argument when
+    // the plan does not fit this topology (shape mismatch, link_flap
+    // without wired_bps, impairment_swap without a mounted stage).
+    void apply_faults(const topo::fault_plan& plan);
 
     void run(sim::tick duration);
 
@@ -97,6 +122,24 @@ public:
     const topo::path_impairment* impair_dl_stage(int c) const;
     const topo::path_impairment* impair_ul_stage(int c) const;
 
+    // --- fault introspection (read after run() unless noted) ---
+    // Events of `cls` whose injection point actually fired (an armed event
+    // can be skipped when its UE was mid-handover or its cell evacuated).
+    std::uint64_t faults_injected(topo::fault_class cls) const;
+    std::uint64_t faults_armed(topo::fault_class cls) const;
+    std::uint64_t rlf_detected() const { return rlf_detected_.load(); }
+    std::uint64_t reestablishments() const { return reestablished_.load(); }
+    std::uint64_t ho_failures() const { return ho_failures_.load(); }
+    std::uint64_t ho_rollbacks() const { return ho_rollbacks_.load(); }
+    // Service-recovery times in ms (service lost -> path switched back in),
+    // aggregated over UEs in index order, so the vector is deterministic.
+    std::vector<double> recovery_ms() const;
+    // The per-shard wired downlink hop (nullptr when wired_bps == 0).
+    const topo::wired_link* wired_dl_link(int c) const;
+    // Shard 0's view of the cell-down flag — exact in serial runs and
+    // between runs; other shards flip their copies at the same tick.
+    bool cell_is_down(int cell) const;
+
 private:
     struct ue_entry {
         int home = 0;     // immutable; also the home shard index
@@ -105,6 +148,13 @@ private:
         bool attached = true;  // false while a handover is in flight
         std::vector<net::packet> held_dl;  // UPF hold during handover
         std::vector<net::packet> held_ul;  // UE-stack hold during handover
+        // --- fault state (home-shard owned) ---
+        bool sabotage_next_ho = false;  // consumed by begin_handover
+        topo::ho_failure_mode sabotage_mode = topo::ho_failure_mode::rollback;
+        sim::tick outage_until = -1;    // injected radio-outage end
+        sim::tick blackout_start = -1;  // service lost; cleared at recovery
+        int evac_return = -1;           // cell to return to after an outage
+        std::vector<double> recovery_samples;  // ms, blackout -> recovery
     };
     struct flow_rt {
         flow_spec spec;
@@ -123,7 +173,28 @@ private:
     void route_uplink(std::size_t flow, net::packet pkt);
     void uplink_arrival(net::packet pkt);
     void begin_handover(int ue, int target);
-    void finish_handover(int ue, int target, ran::rnti_t new_rnti);
+    // How a path switch came about — a completed handover, an RLF
+    // re-establishment, or a failed handover rolled back to its source.
+    enum class switch_kind : std::uint8_t { handover, reestablish, rollback };
+    void finish_path_switch(int ue, int target, ran::rnti_t new_rnti,
+                            switch_kind kind);
+
+    // --- fault actions (each runs on the shard that owns its state) ---
+    void inject_rlf(int ue, sim::tick duration);         // home shard
+    void inject_ho_failure(int ue, topo::ho_failure_mode mode);  // home shard
+    void on_rlf(int cell, ran::rnti_t rnti);             // serving shard
+    // Home shard: backoff, then the attach attempt at a healthy cell.
+    void schedule_reestablish(int ue, ran::ue_handover_context ctx,
+                              int preferred);
+    void do_reestablish(int ue, ran::ue_handover_context ctx, int preferred);
+    // `cell`'s shard: re-admit the UE there and path-switch at home.
+    void readmit(int ue, int cell, ran::ue_handover_context ctx,
+                 switch_kind kind);
+    void evacuate_cell(int shard, int cell);    // shard acting as home
+    void repatriate_cell(int shard, int cell);  // shard acting as home
+    // Lowest-indexed cell != avoid that `shard` believes is up (falls back
+    // to `avoid` when everything is down).
+    int pick_neighbor(int avoid, std::size_t shard) const;
 
     flow_rt& flow_at(int flow) const;
     const ue_entry& ue_at(int ue) const;
@@ -135,12 +206,28 @@ private:
     // none); each stage lives entirely on its shard's loop.
     std::vector<std::unique_ptr<topo::path_impairment>> impair_dl_;
     std::vector<std::unique_ptr<topo::path_impairment>> impair_ul_;
+    // Per-shard wired downlink hop (empty when wired_bps == 0); each link
+    // lives entirely on its shard's loop, like the impairment stages.
+    std::vector<std::unique_ptr<topo::wired_link>> wired_dl_;
     std::vector<std::unique_ptr<ue_entry>> ues_;
     std::vector<std::unique_ptr<flow_rt>> flows_;
+    // cell_down_[shard][cell]: every shard's private copy of the cell-down
+    // flags, flipped by pre-armed events at the same tick on every shard —
+    // no cross-shard reads, so sharded runs stay byte-identical.
+    std::vector<std::vector<std::uint8_t>> cell_down_;
+    // rnti -> global UE index per cell, touched only on the owning shard
+    // (the RLF handler gets an RNTI and needs the UE it belongs to).
+    std::vector<std::unordered_map<ran::rnti_t, int>> cell_rnti_ue_;
+    std::unique_ptr<sim::fault_injector> injector_;
     sim::tick duration_ = 0;
     bool ran_ = false;
+    bool faults_applied_ = false;
     std::atomic<std::uint64_t> ho_started_{0};
     std::atomic<std::uint64_t> ho_completed_{0};
+    std::atomic<std::uint64_t> rlf_detected_{0};
+    std::atomic<std::uint64_t> reestablished_{0};
+    std::atomic<std::uint64_t> ho_failures_{0};
+    std::atomic<std::uint64_t> ho_rollbacks_{0};
 };
 
 }  // namespace l4span::scenario

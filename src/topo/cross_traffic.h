@@ -23,6 +23,11 @@ struct cross_traffic_spec {
     net::ecn ecn_field = net::ecn::not_ect;  // background is non-ECN by default
     sim::tick start_time = 0;
     sim::tick stop_time = -1;         // -1: run to scenario end
+    // Compete for the uplink (server-side return) bottleneck instead of the
+    // downlink core bottleneck: background load on the ACK path, which
+    // delays and aggregates the measured flows' feedback. Requires
+    // cell_spec.ul_bottleneck_bps > 0.
+    bool uplink = false;
 
     // Throws std::invalid_argument naming `where` with an actionable
     // message on any invalid field.

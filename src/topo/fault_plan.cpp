@@ -1,0 +1,182 @@
+#include "topo/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace l4span::topo {
+
+const char* fault_class_name(fault_class cls)
+{
+    switch (cls) {
+    case fault_class::rlf: return "rlf";
+    case fault_class::handover_failure: return "handover_failure";
+    case fault_class::cell_outage: return "cell_outage";
+    case fault_class::link_flap: return "link_flap";
+    case fault_class::impairment_swap: return "impairment_swap";
+    }
+    return "unknown";
+}
+
+void fault_plan_config::validate(const std::string& where) const
+{
+    auto bad = [&where](const std::string& what) {
+        throw std::invalid_argument(where + ": " + what);
+    };
+    if (num_cells < 1) bad("need >= 1 cell");
+    if (ues_per_cell < 1) bad("need >= 1 UE per cell");
+    for (double r : {rlf_per_ue_per_sec, ho_failure_per_ue_per_sec,
+                     outages_per_cell_per_sec, flaps_per_cell_per_sec,
+                     swaps_per_cell_per_sec})
+        if (r < 0.0) bad("fault rates must be >= 0");
+    if (any_enabled() && end <= start)
+        bad("planning horizon is empty (end <= start) but fault rates are set");
+    if (rlf_outage_mean <= 0 || cell_outage_mean <= 0 || flap_mean <= 0)
+        bad("outage/stall means must be > 0");
+    if (ho_failure_reestablish_fraction < 0.0 || ho_failure_reestablish_fraction > 1.0)
+        bad("ho_failure_reestablish_fraction must be in [0, 1]");
+    if (swaps_per_cell_per_sec > 0.0 && swap_profiles.empty())
+        bad("impairment swaps enabled but swap_profiles is empty — list the "
+            "profiles to cycle through (e.g. a clean spec and a bleaching "
+            "transit with force_stage)");
+    for (std::size_t i = 0; i < swap_profiles.size(); ++i)
+        swap_profiles[i].validate(where + ".swap_profiles[" + std::to_string(i) + "]");
+    if (outages_per_cell_per_sec > 0.0 && num_cells < 2)
+        bad("cell outages need >= 2 cells (somewhere to evacuate UEs to)");
+}
+
+namespace {
+
+// Exponential duration with a floor, drawn from `rng`.
+sim::tick draw_duration(sim::rng& rng, sim::tick mean, sim::tick floor)
+{
+    const sim::tick d =
+        sim::from_sec(rng.exponential(sim::to_sec(mean)));
+    return std::max(d, floor);
+}
+
+}  // namespace
+
+fault_plan::fault_plan(fault_plan_config cfg) : cfg_(std::move(cfg))
+{
+    cfg_.validate("fault_plan_config");
+    const int num_ues = cfg_.num_cells * cfg_.ues_per_cell;
+
+    // Per-UE streams: radio link failures and handover sabotage. One RNG per
+    // (class, UE) lane, so plans are stable as UEs or classes are added.
+    if (cfg_.rlf_per_ue_per_sec > 0.0) {
+        const double mean = 1.0 / cfg_.rlf_per_ue_per_sec;
+        for (int ue = 0; ue < num_ues; ++ue) {
+            sim::rng rng(fault_seed(cfg_.seed, fault_class::rlf,
+                                    static_cast<std::uint64_t>(ue)));
+            for (sim::tick t = cfg_.start;;) {
+                t += sim::from_sec(rng.exponential(mean));
+                if (t >= cfg_.end) break;
+                fault_event ev;
+                ev.when = t;
+                ev.cls = fault_class::rlf;
+                ev.ue = ue;
+                ev.duration =
+                    draw_duration(rng, cfg_.rlf_outage_mean, cfg_.rlf_outage_min);
+                schedule_.push_back(std::move(ev));
+            }
+        }
+    }
+    if (cfg_.ho_failure_per_ue_per_sec > 0.0) {
+        const double mean = 1.0 / cfg_.ho_failure_per_ue_per_sec;
+        for (int ue = 0; ue < num_ues; ++ue) {
+            sim::rng rng(fault_seed(cfg_.seed, fault_class::handover_failure,
+                                    static_cast<std::uint64_t>(ue)));
+            for (sim::tick t = cfg_.start;;) {
+                t += sim::from_sec(rng.exponential(mean));
+                if (t >= cfg_.end) break;
+                fault_event ev;
+                ev.when = t;
+                ev.cls = fault_class::handover_failure;
+                ev.ue = ue;
+                ev.mode = rng.bernoulli(cfg_.ho_failure_reestablish_fraction)
+                              ? ho_failure_mode::reestablish
+                              : ho_failure_mode::rollback;
+                schedule_.push_back(std::move(ev));
+            }
+        }
+    }
+
+    // Per-cell streams: outages (self-non-overlapping — a cell recovers
+    // before it can fail again), link flaps and impairment swaps.
+    if (cfg_.outages_per_cell_per_sec > 0.0) {
+        const double mean = 1.0 / cfg_.outages_per_cell_per_sec;
+        for (int c = 0; c < cfg_.num_cells; ++c) {
+            sim::rng rng(fault_seed(cfg_.seed, fault_class::cell_outage,
+                                    static_cast<std::uint64_t>(c)));
+            for (sim::tick t = cfg_.start;;) {
+                t += sim::from_sec(rng.exponential(mean));
+                if (t >= cfg_.end) break;
+                fault_event ev;
+                ev.when = t;
+                ev.cls = fault_class::cell_outage;
+                ev.cell = c;
+                ev.duration = draw_duration(rng, cfg_.cell_outage_mean,
+                                            cfg_.cell_outage_min);
+                schedule_.push_back(ev);
+                t += ev.duration;  // next draw starts after recovery
+            }
+        }
+    }
+    if (cfg_.flaps_per_cell_per_sec > 0.0) {
+        const double mean = 1.0 / cfg_.flaps_per_cell_per_sec;
+        for (int c = 0; c < cfg_.num_cells; ++c) {
+            sim::rng rng(fault_seed(cfg_.seed, fault_class::link_flap,
+                                    static_cast<std::uint64_t>(c)));
+            for (sim::tick t = cfg_.start;;) {
+                t += sim::from_sec(rng.exponential(mean));
+                if (t >= cfg_.end) break;
+                fault_event ev;
+                ev.when = t;
+                ev.cls = fault_class::link_flap;
+                ev.cell = c;
+                ev.duration = draw_duration(rng, cfg_.flap_mean, cfg_.flap_min);
+                schedule_.push_back(ev);
+                t += ev.duration;  // a link cannot re-flap while down
+            }
+        }
+    }
+    if (cfg_.swaps_per_cell_per_sec > 0.0) {
+        const double mean = 1.0 / cfg_.swaps_per_cell_per_sec;
+        for (int c = 0; c < cfg_.num_cells; ++c) {
+            sim::rng rng(fault_seed(cfg_.seed, fault_class::impairment_swap,
+                                    static_cast<std::uint64_t>(c)));
+            std::size_t next_profile = 0;
+            for (sim::tick t = cfg_.start;;) {
+                t += sim::from_sec(rng.exponential(mean));
+                if (t >= cfg_.end) break;
+                fault_event ev;
+                ev.when = t;
+                ev.cls = fault_class::impairment_swap;
+                ev.cell = c;
+                ev.uplink = cfg_.swap_uplink;
+                ev.impair = cfg_.swap_profiles[next_profile];
+                next_profile = (next_profile + 1) % cfg_.swap_profiles.size();
+                schedule_.push_back(std::move(ev));
+            }
+        }
+    }
+
+    std::sort(schedule_.begin(), schedule_.end(),
+              [](const fault_event& a, const fault_event& b) {
+                  if (a.when != b.when) return a.when < b.when;
+                  if (a.cls != b.cls) return a.cls < b.cls;
+                  if (a.ue != b.ue) return a.ue < b.ue;
+                  return a.cell < b.cell;
+              });
+}
+
+std::size_t fault_plan::count(fault_class cls) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(schedule_.begin(), schedule_.end(),
+                      [cls](const fault_event& ev) { return ev.cls == cls; }));
+}
+
+}  // namespace l4span::topo

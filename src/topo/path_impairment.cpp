@@ -42,29 +42,46 @@ void impairment_spec::validate(const std::string& where) const
             where + ": reorder_hold_max must be a positive duration — it "
             "bounds how long a reordered packet can sit in the hold buffer "
             "(e.g. sim::from_ms(20))");
+    for (std::size_t i = 0; i < flow_policies.size(); ++i) {
+        const std::string pw = where + ".flow_policies[" + std::to_string(i) + "]";
+        if (!flow_policies[i].flow_policies.empty())
+            throw std::invalid_argument(
+                pw + ": per-flow policies may not nest — a packet hashes to "
+                     "exactly one policy");
+        flow_policies[i].validate(pw);
+    }
 }
 
 path_impairment::path_impairment(sim::event_loop& loop, impairment_spec spec,
                                  std::uint64_t seed)
-    : loop_(loop), spec_(spec), rng_(seed)
+    : loop_(loop), spec_(std::move(spec)), rng_(seed)
 {
     spec_.validate("path_impairment");
+    policy_burst_.assign(spec_.flow_policies.size(), 0);
 }
 
-bool path_impairment::lose_next()
+void path_impairment::set_spec(impairment_spec spec)
 {
-    if (spec_.loss <= 0.0) return false;
-    if (spec_.loss_burst <= 1.0) return rng_.bernoulli(spec_.loss);
+    spec.validate("path_impairment::set_spec");
+    spec_ = std::move(spec);
+    base_burst_ = 0;
+    policy_burst_.assign(spec_.flow_policies.size(), 0);
+}
+
+bool path_impairment::lose_next(const impairment_spec& act, std::uint8_t& burst)
+{
+    if (act.loss <= 0.0) return false;
+    if (act.loss_burst <= 1.0) return rng_.bernoulli(act.loss);
     // Gilbert model: stationary loss == `loss`, mean burst == `loss_burst`.
-    const double exit_p = 1.0 / spec_.loss_burst;
-    if (in_loss_burst_) {
-        if (rng_.bernoulli(exit_p)) in_loss_burst_ = false;
+    const double exit_p = 1.0 / act.loss_burst;
+    if (burst) {
+        if (rng_.bernoulli(exit_p)) burst = 0;
         return true;
     }
     const double enter_p =
-        spec_.loss >= 1.0 ? 1.0 : exit_p * spec_.loss / (1.0 - spec_.loss);
+        act.loss >= 1.0 ? 1.0 : exit_p * act.loss / (1.0 - act.loss);
     if (rng_.bernoulli(std::min(enter_p, 1.0))) {
-        in_loss_burst_ = true;
+        burst = 1;
         return true;
     }
     return false;
@@ -74,40 +91,52 @@ void path_impairment::send(net::packet p)
 {
     ++st_.input;
 
+    // Per-flow ECMP: with policies installed, the packet's five-tuple hash
+    // picks the transit path (and its Gilbert state) that governs every
+    // decision below; otherwise the base knobs do.
+    const impairment_spec* act = &spec_;
+    std::uint8_t* burst = &base_burst_;
+    if (!spec_.flow_policies.empty()) {
+        const std::size_t idx =
+            net::five_tuple_hash{}(p.ft) % spec_.flow_policies.size();
+        act = &spec_.flow_policies[idx];
+        burst = &policy_burst_[idx];
+    }
+
     // Marking transforms, in the normative order (see header). Each draw is
     // gated on both the knob and the packet's codepoint, so a stage draws
     // randomness only for packets a transform could actually touch.
-    if (p.ecn_field == net::ecn::ect1 && spec_.remark_ect1 > 0.0 &&
-        rng_.bernoulli(spec_.remark_ect1)) {
+    if (p.ecn_field == net::ecn::ect1 && act->remark_ect1 > 0.0 &&
+        rng_.bernoulli(act->remark_ect1)) {
         p.ecn_field = net::ecn::ect0;
         ++st_.remarked;
     }
-    if (p.ecn_field == net::ecn::ce && spec_.bleach_ce > 0.0 &&
-        rng_.bernoulli(spec_.bleach_ce)) {
+    if (p.ecn_field == net::ecn::ce && act->bleach_ce > 0.0 &&
+        rng_.bernoulli(act->bleach_ce)) {
         p.ecn_field = net::ecn::ect0;
         ++st_.bleached;
     }
-    if (p.ecn_field != net::ecn::not_ect && spec_.strip_ect > 0.0 &&
-        rng_.bernoulli(spec_.strip_ect)) {
+    if (p.ecn_field != net::ecn::not_ect && act->strip_ect > 0.0 &&
+        rng_.bernoulli(act->strip_ect)) {
         p.ecn_field = net::ecn::not_ect;
         ++st_.stripped;
     }
 
-    if (lose_next()) {
+    if (lose_next(*act, *burst)) {
         ++st_.lost;
         return;
     }
 
-    if (spec_.reorder > 0.0 && rng_.bernoulli(spec_.reorder)) {
+    if (act->reorder > 0.0 && rng_.bernoulli(act->reorder)) {
         ++st_.reordered;
         const std::uint64_t id = ++next_hold_id_;
-        held_.push_back({std::move(p), spec_.reorder_gap, id});
-        loop_.schedule_after(spec_.reorder_hold_max,
+        held_.push_back({std::move(p), act->reorder_gap, id});
+        loop_.schedule_after(act->reorder_hold_max,
                              [this, id] { release_by_id(id); });
         return;
     }
 
-    const bool dup = spec_.duplicate > 0.0 && rng_.bernoulli(spec_.duplicate);
+    const bool dup = act->duplicate > 0.0 && rng_.bernoulli(act->duplicate);
     if (dup) {
         ++st_.duplicated;
         net::packet copy = p;

@@ -62,11 +62,25 @@ struct impairment_spec {
     // behavior-preservation tests).
     bool force_stage = false;
 
+    // Per-flow policies, five-tuple-hashed: when non-empty, each packet is
+    // governed by flow_policies[hash(five_tuple) % size()] INSTEAD of the
+    // base knobs — modelling per-flow ECMP, where different flows of one
+    // host ride different transit paths through different middleboxes (the
+    // measurement papers see exactly this: one flow bleached, its sibling
+    // clean). Policies may not nest; Gilbert loss-burst state is tracked
+    // per policy, while the reorder hold buffer (a shared queue) and the
+    // RNG stay stage-wide.
+    std::vector<impairment_spec> flow_policies;
+
     // True when any impairment can actually fire.
     bool any_active() const
     {
-        return remark_ect1 > 0.0 || bleach_ce > 0.0 || strip_ect > 0.0 ||
-               loss > 0.0 || reorder > 0.0 || duplicate > 0.0;
+        if (remark_ect1 > 0.0 || bleach_ce > 0.0 || strip_ect > 0.0 ||
+            loss > 0.0 || reorder > 0.0 || duplicate > 0.0)
+            return true;
+        for (const auto& p : flow_policies)
+            if (p.any_active()) return true;
+        return false;
     }
     // True when a scenario should mount a stage at all.
     bool wants_stage() const { return force_stage || any_active(); }
@@ -121,6 +135,13 @@ public:
     // their hold timer fires.
     void send(net::packet p);
 
+    // Replaces the stage's spec mid-run (fault injection: a reroute onto a
+    // different transit path). Validates like the constructor; the RNG and
+    // the cumulative stats carry over, loss-burst state resets (a new path
+    // has no memory of the old one's bursts), and already-held packets
+    // release under their original gap counters and hold timers.
+    void set_spec(impairment_spec spec);
+
     const impairment_spec& spec() const { return spec_; }
     const impairment_stats& stats() const { return st_; }
     // Packets currently in the reorder hold buffer (conservation:
@@ -134,7 +155,7 @@ private:
         std::uint64_t id;     // matches the hold-timeout event
     };
 
-    bool lose_next();
+    bool lose_next(const impairment_spec& act, std::uint8_t& burst);
     void pass(net::packet p);            // deliver + advance the hold buffer
     void deliver(net::packet p);
     void release_by_id(std::uint64_t id);
@@ -144,7 +165,8 @@ private:
     sim::rng rng_;
     deliver_fn deliver_;
     impairment_stats st_;
-    bool in_loss_burst_ = false;
+    std::uint8_t base_burst_ = 0;            // Gilbert state, base knobs
+    std::vector<std::uint8_t> policy_burst_;  // Gilbert state per flow policy
     std::vector<held_pkt> held_;
     std::uint64_t next_hold_id_ = 0;
 };

@@ -177,6 +177,60 @@ TEST(l4span_entity, drop_mode_sheds_non_ecn_under_congestion)
     EXPECT_EQ(l.drops(), static_cast<std::uint64_t>(dropped));
 }
 
+TEST(l4span_entity, drop_mode_sheds_stripped_tcp_on_the_short_circuit_path)
+{
+    // A TCP flow the path stripped to Not-ECT gets no ACK rewrite, so with
+    // short-circuiting on (the default) the drop fallback is its only
+    // congestion signal. The short-circuit branch must honor drop_non_ecn
+    // instead of returning true unconditionally.
+    l4span_config cfg;
+    cfg.seed = 3;
+    cfg.drop_non_ecn = true;
+    ASSERT_TRUE(cfg.short_circuit);
+    core::l4span l(cfg);
+    warm_up(l, 200, sim::from_us(500));
+    int dropped = 0;
+    for (int i = 0; i < 1000; ++i) {
+        auto p = tcp_data(net::ecn::not_ect, 1400, /*dport=*/7777);
+        const auto sn = static_cast<ran::pdcp_sn_t>(301 + i);
+        if (!l.on_dl_packet(p, 1, 1, sn, sim::from_ms(100))) ++dropped;
+        if (i % 10 == 9)
+            l.on_delivery_status(status(201, sim::from_ms(100) + i), sim::from_ms(100) + i);
+    }
+    EXPECT_GT(dropped, 0) << "stripped TCP must get drop feedback under "
+                             "congestion, or it sits in a deep RLC queue";
+    EXPECT_EQ(l.drops(), static_cast<std::uint64_t>(dropped));
+
+    // With the knob off (the default), the same stream passes untouched.
+    l4span_config off;
+    off.seed = 3;
+    core::l4span l2(off);
+    warm_up(l2, 200, sim::from_us(500));
+    for (int i = 0; i < 1000; ++i) {
+        auto p = tcp_data(net::ecn::not_ect, 1400, /*dport=*/7777);
+        EXPECT_TRUE(l2.on_dl_packet(p, 1, 1, static_cast<ran::pdcp_sn_t>(301 + i),
+                                    sim::from_ms(100)));
+    }
+    EXPECT_EQ(l2.drops(), 0u);
+}
+
+TEST(l4span_entity, feedback_for_departed_ue_does_not_resurrect_state)
+{
+    // Delivery status and discards are find-only: late F1-U feedback for a
+    // detached (or re-established) UE must not re-create per-DRB state
+    // under the dead RNTI.
+    core::l4span l({});
+    auto p = udp_pkt(net::ecn::ect1);
+    l.on_dl_packet(p, 1, 1, 1, 0);
+    ASSERT_EQ(l.tracked_ues(), (std::vector<ran::rnti_t>{1}));
+    (void)l.detach_ue(1);
+    EXPECT_TRUE(l.tracked_ues().empty());
+    l.on_delivery_status(status(1, sim::from_ms(2)), sim::from_ms(2));
+    l.on_dl_discard(1, 1, 1, sim::from_ms(2));
+    EXPECT_TRUE(l.tracked_ues().empty())
+        << "feedback events must never create state (packets do)";
+}
+
 TEST(l4span_entity, discard_reconciles_profile)
 {
     core::l4span l({});

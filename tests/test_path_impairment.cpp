@@ -569,3 +569,267 @@ TEST(impairment_scenario, sharded_topology_byte_identical_jobs_1_vs_4)
     for (double v : serial) sum += v;
     EXPECT_GT(sum, 0.0);
 }
+
+// ------------------------------------------------- per-flow ECMP policies --
+
+namespace {
+
+// A five-tuple whose hash lands on policy index `want` (mod `n`): vary the
+// source port until the stage's own hash function agrees.
+net::five_tuple tuple_for_policy(std::size_t want, std::size_t n)
+{
+    net::five_tuple ft;
+    ft.proto = net::ip_proto::udp;
+    ft.src_ip = 0x0a000001;
+    ft.dst_ip = 0x0a000002;
+    ft.dst_port = 443;
+    for (std::uint16_t port = 1000;; ++port) {
+        ft.src_port = port;
+        if (net::five_tuple_hash{}(ft) % n == want) return ft;
+    }
+}
+
+}  // namespace
+
+TEST(flow_policies, packets_route_to_their_hashed_policy)
+{
+    impairment_spec s;
+    // Base knobs would drop everything — with policies installed they must
+    // be ignored entirely (the hash picks the governing spec).
+    s.loss = 1.0;
+    impairment_spec dirty;
+    dirty.strip_ect = 1.0;
+    impairment_spec clean;
+    s.flow_policies = {dirty, clean};
+    rigged_stage rig(s);
+
+    net::packet on_dirty = mk(net::ecn::ect1);
+    on_dirty.ft = tuple_for_policy(0, 2);
+    net::packet on_clean = mk(net::ecn::ect1);
+    on_clean.ft = tuple_for_policy(1, 2);
+    for (int i = 0; i < 20; ++i) {
+        rig.stage.send(on_dirty);
+        rig.stage.send(on_clean);
+    }
+    ASSERT_EQ(rig.out.size(), 40u);  // base loss=1.0 ignored
+    EXPECT_EQ(rig.stage.stats().stripped, 20u);
+    std::size_t clean_ect1 = 0, dirty_not_ect = 0;
+    for (const auto& p : rig.out) {
+        if (p.ft.src_port == on_clean.ft.src_port && p.ecn_field == net::ecn::ect1)
+            ++clean_ect1;
+        if (p.ft.src_port == on_dirty.ft.src_port && p.ecn_field == net::ecn::not_ect)
+            ++dirty_not_ect;
+    }
+    // One flow rides the stripping transit, its sibling stays clean — the
+    // per-flow ECMP picture the measurement papers report.
+    EXPECT_EQ(clean_ect1, 20u);
+    EXPECT_EQ(dirty_not_ect, 20u);
+    expect_conservation(rig.stage);
+}
+
+TEST(flow_policies, per_policy_gilbert_state_and_certain_loss)
+{
+    impairment_spec s;
+    impairment_spec lossy;
+    lossy.loss = 1.0;
+    impairment_spec clean;
+    s.flow_policies = {lossy, clean};
+    rigged_stage rig(s);
+    net::packet victim = mk(net::ecn::ect0);
+    victim.ft = tuple_for_policy(0, 2);
+    net::packet bystander = mk(net::ecn::ect0);
+    bystander.ft = tuple_for_policy(1, 2);
+    for (int i = 0; i < 50; ++i) {
+        rig.stage.send(victim);
+        rig.stage.send(bystander);
+    }
+    EXPECT_EQ(rig.stage.stats().lost, 50u);
+    EXPECT_EQ(rig.out.size(), 50u);  // every bystander packet survived
+    expect_conservation(rig.stage);
+}
+
+TEST(flow_policies, nesting_is_rejected_with_an_indexed_message)
+{
+    impairment_spec s;
+    s.flow_policies.emplace_back();
+    s.flow_policies[0].flow_policies.emplace_back();
+    try {
+        s.validate("cell_spec.impair_dl");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("flow_policies[0]"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("nest"), std::string::npos) << msg;
+    }
+    // Per-policy knobs go through the same range validation.
+    impairment_spec bad;
+    bad.flow_policies.emplace_back();
+    bad.flow_policies[0].loss = 1.5;
+    EXPECT_THROW(bad.validate("x"), std::invalid_argument);
+}
+
+// ------------------------------------------------------- mid-run set_spec --
+
+TEST(set_spec, swaps_profile_midstream_with_cumulative_stats)
+{
+    impairment_spec clean;
+    clean.force_stage = true;
+    rigged_stage rig(clean);
+    for (int i = 0; i < 10; ++i) rig.stage.send(mk(net::ecn::ect1));
+    EXPECT_EQ(rig.stage.stats().stripped, 0u);
+
+    impairment_spec stripping;
+    stripping.strip_ect = 1.0;
+    rig.stage.set_spec(stripping);
+    EXPECT_EQ(rig.stage.spec().strip_ect, 1.0);
+    for (int i = 0; i < 10; ++i) rig.stage.send(mk(net::ecn::ect1));
+
+    // Stats carry across the reroute: one stage, one cumulative history.
+    EXPECT_EQ(rig.stage.stats().input, 20u);
+    EXPECT_EQ(rig.stage.stats().stripped, 10u);
+    EXPECT_EQ(rig.out.size(), 20u);
+    expect_conservation(rig.stage);
+
+    impairment_spec bad;
+    bad.loss = 2.0;
+    EXPECT_THROW(rig.stage.set_spec(bad), std::invalid_argument);
+}
+
+TEST(set_spec, held_packets_release_under_their_original_counters)
+{
+    impairment_spec reordering;
+    reordering.reorder = 1.0;
+    reordering.reorder_gap = 1;
+    rigged_stage rig(reordering);
+    rig.stage.send(mk(net::ecn::ect0, /*id=*/1));
+    ASSERT_EQ(rig.stage.held_packets(), 1u);
+
+    impairment_spec clean;
+    clean.force_stage = true;
+    rig.stage.set_spec(clean);
+    EXPECT_EQ(rig.stage.held_packets(), 1u);  // the hold buffer survives
+    // The next passing packet (no longer reordered under the new spec)
+    // advances the held packet's gap counter and releases it behind itself.
+    rig.stage.send(mk(net::ecn::ect0, /*id=*/2));
+    ASSERT_EQ(rig.out.size(), 2u);
+    EXPECT_EQ(rig.out[0].pkt_id, 2u);
+    EXPECT_EQ(rig.out[1].pkt_id, 1u);
+    EXPECT_EQ(rig.stage.held_packets(), 0u);
+    expect_conservation(rig.stage);
+}
+
+TEST(impairment_scenario, stripped_tcp_with_drop_fallback_keeps_owd_bounded)
+{
+    // Regression for the ECN-impairment bench's tcp-prague strip rows: a
+    // fully stripped flow under short-circuiting got no congestion signal
+    // at all (the short-circuit branch ignored drop_non_ecn), so it sat in
+    // a ~1.2 s deep RLC queue. With the drop fallback honored, the queue
+    // stays in the normal operating regime.
+    auto run_strip = [](bool drop_non_ecn) {
+        scenario::cell_spec cell;
+        cell.channel = "static";
+        cell.cu = scenario::cu_mode::l4span;
+        cell.seed = 5;
+        cell.l4s.drop_non_ecn = drop_non_ecn;
+        cell.impair_dl.strip_ect = 1.0;
+        scenario::cell_scenario s(cell);
+        scenario::flow_spec f;
+        f.cca = "cubic";
+        f.ue = 0;
+        const int h = s.add_flow(f);
+        s.run(sim::from_sec(3));
+        return std::make_pair(s.owd_ms(h).percentile(90),
+                              s.l4span_layer()->drops());
+    };
+    const auto [owd_with_drop, drops] = run_strip(true);
+    EXPECT_GT(drops, 0u);
+    EXPECT_LT(owd_with_drop, 300.0)
+        << "drop feedback must keep the stripped flow out of the deep queue";
+    const auto [owd_without, no_drops] = run_strip(false);
+    EXPECT_EQ(no_drops, 0u);
+    EXPECT_GT(owd_without, owd_with_drop)
+        << "without any feedback the stripped flow queues strictly deeper";
+}
+
+// --------------------------------------------- uplink return-path loading --
+
+TEST(impairment_scenario, uplink_cross_traffic_requires_ul_bottleneck)
+{
+    scenario::cell_spec cell;
+    topo::cross_traffic_spec ct;
+    ct.rate_bps = 1e6;
+    ct.uplink = true;
+    cell.cross_traffic.push_back(ct);
+    try {
+        scenario::cell_scenario s(cell);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("ul_bottleneck_bps"),
+                  std::string::npos)
+            << e.what();
+    }
+    scenario::cell_spec neg;
+    neg.ul_bottleneck_bps = -1.0;
+    EXPECT_THROW(scenario::cell_scenario{neg}, std::invalid_argument);
+}
+
+TEST(impairment_scenario, uplink_cross_traffic_congests_the_ack_path)
+{
+    // A loaded return hop delays the download's ACK clock: same radio, same
+    // flow, but RTT inflates once background senders squeeze the uplink
+    // bottleneck. The downlink data path is untouched in both runs.
+    auto run_dl = [](double cross_bps) {
+        scenario::cell_spec cell;
+        cell.channel = "static";
+        cell.cu = scenario::cu_mode::l4span;
+        cell.seed = 5;
+        cell.ul_bottleneck_bps = 3e6;  // ACK stream alone fits comfortably
+        if (cross_bps > 0.0) {
+            topo::cross_traffic_spec ct;
+            ct.rate_bps = cross_bps;
+            ct.pkt_bytes = 1200;
+            ct.uplink = true;
+            cell.cross_traffic.push_back(ct);
+        }
+        scenario::cell_scenario s(cell);
+        scenario::flow_spec f;
+        f.cca = "cubic";
+        f.ue = 0;
+        const int h = s.add_flow(f);
+        s.run(sim::from_sec(3));
+        return std::make_tuple(s.rtt_ms(h).percentile(50), s.delivered_bytes(h),
+                               s.cross_traffic_packets());
+    };
+    const auto [rtt_clean, bytes_clean, pkts_clean] = run_dl(0.0);
+    const auto [rtt_loaded, bytes_loaded, pkts_loaded] = run_dl(2.5e6);
+    EXPECT_EQ(pkts_clean, 0u);
+    EXPECT_GT(pkts_loaded, 100u);
+    EXPECT_GT(rtt_loaded, rtt_clean + 1.0)
+        << "a ~2.5 Mb/s background load on a 3 Mb/s return hop must visibly "
+           "delay the ACK stream";
+    // The flow survives the loaded feedback path.
+    EXPECT_GT(bytes_loaded, 1u << 20);
+    EXPECT_GT(bytes_clean, 1u << 20);
+}
+
+TEST(impairment_scenario, ul_bottleneck_composes_with_uplink_impairment)
+{
+    // Return path order: RAN -> bottleneck -> impairment stage -> sender.
+    // An ACK-path bleacher after the bottleneck still sees every packet.
+    scenario::cell_spec cell;
+    cell.channel = "static";
+    cell.cu = scenario::cu_mode::l4span;
+    cell.seed = 5;
+    cell.ul_bottleneck_bps = 10e6;
+    cell.impair_ul.force_stage = true;
+    scenario::cell_scenario s(cell);
+    scenario::flow_spec f;
+    f.cca = "prague";
+    f.ue = 0;
+    const int h = s.add_flow(f);
+    s.run(sim::from_sec(1));
+    ASSERT_NE(s.ul_bottleneck(), nullptr);
+    ASSERT_NE(s.impair_ul(), nullptr);
+    EXPECT_GT(s.impair_ul()->stats().input, 0u);
+    EXPECT_GT(s.delivered_bytes(h), 100u << 10);
+}
