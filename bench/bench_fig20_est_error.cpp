@@ -20,6 +20,7 @@ int main()
         cell.channel = chan;
         cell.cu = scenario::cu_mode::l4span;
         cell.seed = 101;
+        cell.record_tx_log = true;  // ground truth for the error distribution
         scenario::cell_scenario s(cell);
         for (int u = 0; u < 16; ++u) {
             scenario::flow_spec f;

@@ -210,12 +210,13 @@ ANCHORS = [
         "note": "Fig. 24: BBRv1 median OWD (L4Span cannot help), static",
     },
     # Tab. 1 (§6.4): L4Span's busy-cell overhead on the srsRAN CU, ~0.25%
-    # CPU and ~4% memory. The CPU anchor carries an enormous tracked
-    # divergence by construction: the paper measures marking hooks amortized
-    # over a full software CU doing PDCP/RLC work per packet, while this
-    # event-driven simulator's per-event baseline is nanoseconds, so the
-    # same absolute hook cost shows up as ~20% relative. The anchor tracks
-    # that ratio so a regression in hook cost still trips the check.
+    # CPU and ~4% memory. The CPU anchor's tracked divergence is the
+    # hot-path campaign's acceptance bound (<8% measured overhead, i.e.
+    # 3100% drift vs the paper's 0.25%): post-campaign the measured
+    # overhead sits at paper scale (~0.2-2%), but the paired measurement is
+    # noisy on shared runners, so the band stays wide enough to absorb
+    # jitter while a regression back to the pre-campaign ~20% (7900%
+    # drift) trips DRIFT.
     {
         "figure": "tab1",
         "file": "BENCH_tab1.json",
@@ -223,7 +224,7 @@ ANCHORS = [
         "select": {"state": "busy", "l4span": True},
         "metric": ["cpu_overhead_pct"],
         "paper": 0.25,
-        "known_drift_pct": 7800.0,
+        "known_drift_pct": 3100.0,
         "note": "Tab. 1: L4Span CPU overhead, busy cell",
     },
     {

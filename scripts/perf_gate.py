@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a freshly-run BENCH_tab1.json against the
+committed baseline and fail CI when the hot path regresses.
+
+Gated metrics (the ones the hot-path campaign optimized):
+  * every event-loop micro under "event_loop_ns" (schedule+fire,
+    schedule+cancel, churn @1024 pending)
+  * ns_per_event of each busy row (L4Span off and on)
+
+Only regressions gate — a fresh run that is *faster* than the baseline
+prints as an improvement and exits 0 (commit the new JSON to ratchet).
+Thresholds default to warn at +10% and fail at +25%: CI runners are noisy
+and share tenants, so the fail bar is deliberately far above run-to-run
+jitter while still catching the class of regression that motivated the
+gate (an accidental map/allocation reintroduction is a 2x hit, not 25%).
+The bench itself reports ns/event from the min-of-reps wall time, which
+squeezes most machine noise out of both sides of the comparison.
+
+Usage: scripts/perf_gate.py [--baseline PATH] [--fresh PATH]
+                            [--warn-pct N] [--fail-pct N] [--selftest]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+WARN_PCT = 10.0
+FAIL_PCT = 25.0
+
+
+def gated_metrics(doc):
+    """Extracts {name: value} for every gated metric in a BENCH_tab1 doc."""
+    out = {}
+    for name, ns in (doc.get("event_loop_ns") or {}).items():
+        out[f"event-loop {name}"] = ns
+    for row in doc.get("rows", []):
+        if row.get("state") != "busy":
+            continue
+        mode = "on" if row.get("l4span") else "off"
+        out[f"busy ns/event (L4Span {mode})"] = row.get("ns_per_event")
+    return out
+
+
+def compare(baseline, fresh, warn_pct, fail_pct):
+    """Compares two BENCH_tab1 docs. Returns (results, status) where
+    results is a list of (name, base, new, delta_pct, verdict) and status
+    is the worst verdict seen ('ok', 'warn' or 'FAIL')."""
+    base_m = gated_metrics(baseline)
+    fresh_m = gated_metrics(fresh)
+    results = []
+    worst = "ok"
+    for name, base in base_m.items():
+        new = fresh_m.get(name)
+        if base is None or new is None or base <= 0:
+            results.append((name, base, new, None, "skip"))
+            continue
+        delta = 100.0 * (new - base) / base
+        if delta > fail_pct:
+            verdict = "FAIL"
+        elif delta > warn_pct:
+            verdict = "warn"
+        else:
+            verdict = "ok"
+        if verdict == "FAIL" or (verdict == "warn" and worst == "ok"):
+            worst = verdict
+        results.append((name, base, new, delta, verdict))
+    return results, worst
+
+
+def run_gate(baseline_doc, fresh_doc, warn_pct, fail_pct):
+    if fresh_doc.get("quick") or baseline_doc.get("quick"):
+        print("skip: --quick documents carry truncated workloads; gate on "
+              "full runs only")
+        return 0
+    results, worst = compare(baseline_doc, fresh_doc, warn_pct, fail_pct)
+    for name, base, new, delta, verdict in results:
+        if delta is None:
+            print(f"skip  {name}: metric missing on one side")
+            continue
+        print(f"{verdict:<5} {name}: {base:.1f} -> {new:.1f} ns "
+              f"({delta:+.1f}%, warn +{warn_pct:.0f}%, fail +{fail_pct:.0f}%)")
+    if not any(d is not None for _, _, _, d, _ in results):
+        print("FAIL: no gated metrics found in either document")
+        return 1
+    print(f"perf gate: {worst}")
+    return 1 if worst == "FAIL" else 0
+
+
+def selftest():
+    """Validates the gate against embedded fixtures."""
+    mk = lambda fire, busy_off, quick=False: {
+        "quick": quick,
+        "event_loop_ns": {"schedule+fire": fire},
+        "rows": [
+            {"state": "idle", "l4span": False, "ns_per_event": 300.0},
+            {"state": "busy", "l4span": False, "ns_per_event": busy_off},
+            {"state": "busy", "l4span": True, "ns_per_event": busy_off * 1.05},
+        ],
+    }
+    base = mk(20.0, 200.0)
+    cases = [
+        # (fresh doc, expected exit code, label)
+        (mk(20.0, 200.0), 0, "identical"),
+        (mk(21.0, 210.0), 0, "+5% ok"),
+        (mk(23.0, 200.0), 0, "+15% warns but passes"),
+        (mk(30.0, 200.0), 1, "+50% event loop fails"),
+        (mk(20.0, 300.0), 1, "+50% busy row fails"),
+        (mk(10.0, 100.0), 0, "improvement passes"),
+        (mk(20.0, 200.0, quick=True), 0, "quick doc skipped"),
+        ({"rows": []}, 1, "empty doc fails"),
+    ]
+    failed = 0
+    for i, (fresh, want, label) in enumerate(cases):
+        got = run_gate(base, fresh, WARN_PCT, FAIL_PCT)
+        ok = got == want
+        failed += not ok
+        print(f"{'ok   ' if ok else 'FAIL '} selftest[{i}] ({label}): "
+              f"want exit {want}, got {got}")
+    print(f"selftest: {len(cases)} cases, {failed} failures")
+    return 1 if failed else 0
+
+
+def main():
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default=str(repo_root / "BENCH_tab1.json"),
+                    help="committed baseline JSON (default: repo root)")
+    ap.add_argument("--fresh", default="bench-json/BENCH_tab1.json",
+                    help="freshly-generated JSON to gate")
+    ap.add_argument("--warn-pct", type=float, default=WARN_PCT)
+    ap.add_argument("--fail-pct", type=float, default=FAIL_PCT)
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the gate against embedded fixtures and exit")
+    args = ap.parse_args()
+    if args.selftest:
+        return selftest()
+    baseline_path = pathlib.Path(args.baseline)
+    fresh_path = pathlib.Path(args.fresh)
+    if not baseline_path.exists():
+        print(f"skip: no committed baseline at {baseline_path}")
+        return 0
+    if not fresh_path.exists():
+        print(f"FAIL: fresh run not found at {fresh_path}")
+        return 1
+    return run_gate(json.loads(baseline_path.read_text()),
+                    json.loads(fresh_path.read_text()),
+                    args.warn_pct, args.fail_pct)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

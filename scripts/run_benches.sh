@@ -4,15 +4,19 @@
 # machine-readable summary, collected as BENCH_<fig>.json at the repo root —
 # the per-figure trajectories the ROADMAP tracks.
 #
-#   usage: scripts/run_benches.sh [--jobs N] [--quick] [build-dir] [outdir]
+#   usage: scripts/run_benches.sh [--jobs N] [--quick] [--profile] [build-dir] [outdir]
 #
 #   --jobs N   worker threads for the grid benches (default: all cores,
 #              also settable via L4SPAN_BENCH_JOBS; 1 = historical serial run)
 #   --quick    tiny grid slices (the CI perf-smoke configuration)
+#   --profile  run only bench_fig21_proctime and emit the per-stage
+#              (RLC/MAC/AQM/L4Span) ns breakdown as BENCH_fig21.json --
+#              the starting data for the next hot-path PR
 set -eu
 
 jobs=${L4SPAN_BENCH_JOBS:-0}
 quick=""
+profile=""
 build_dir=""
 out_dir=""
 while [ $# -gt 0 ]; do
@@ -29,8 +33,12 @@ while [ $# -gt 0 ]; do
             quick="--quick"
             shift
             ;;
+        --profile)
+            profile=1
+            shift
+            ;;
         -*)
-            echo "usage: $0 [--jobs N] [--quick] [build-dir] [outdir]" >&2
+            echo "usage: $0 [--jobs N] [--quick] [--profile] [build-dir] [outdir]" >&2
             exit 2
             ;;
         *)
@@ -55,13 +63,29 @@ if [ ! -d "$build_dir" ]; then
     exit 1
 fi
 
+# --profile: just the per-stage hot-path breakdown, nothing else.
+if [ -n "$profile" ]; then
+    bin=$build_dir/bench_fig21_proctime
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not found (build the bench targets first)" >&2
+        exit 1
+    fi
+    mkdir -p "$out_dir"
+    echo "== bench_fig21_proctime (per-stage hot-path breakdown)"
+    "$bin" $quick --json "$out_dir/BENCH_fig21.json" > "$out_dir/bench_fig21_proctime.txt" 2>&1
+    tail -n 8 "$out_dir/bench_fig21_proctime.txt"
+    cp "$out_dir/BENCH_fig21.json" "$repo_root/BENCH_fig21.json"
+    echo "   wrote $out_dir/BENCH_fig21.json (and repo-root copy)"
+    exit 0
+fi
+
 # Benches that understand --jobs/--quick/--json (grid_runner- or
 # topology-sharded).
 grid_benches="bench_ecn_impairment bench_fault_chaos bench_fig09_tcp_grid \
 bench_fig13_video bench_fig14_fairness bench_fig16_shared_drb \
 bench_fig17_queue_cdf bench_fig18_coherence bench_fig19_threshold \
-bench_fig24_bbr_reno bench_mc_handover bench_quic_interactive \
-bench_tab1_overhead bench_trace_replay"
+bench_fig21_proctime bench_fig24_bbr_reno bench_mc_handover \
+bench_quic_interactive bench_tab1_overhead bench_trace_replay"
 
 is_grid_bench() {
     for g in $grid_benches; do

@@ -26,6 +26,11 @@ private:
     sim::rng rng_;
     double snr_db_;
     sim::tick last_ = 0;
+    // Memoized OU step coefficients for the last-seen dt (the slot period
+    // in steady state, so the exp/sqrt run once, not once per sample).
+    sim::tick memo_dt_ = -1;
+    double memo_rho_ = 0.0;
+    double memo_sigma_ = 0.0;
 };
 
 }  // namespace l4span::chan

@@ -14,7 +14,8 @@ sim::tick egress_estimator::idle_in_window(sim::tick now) const
 {
     const sim::tick begin = now - window_;
     sim::tick idle = 0;
-    for (const auto& [b, e] : idle_spans_) {
+    for (std::size_t i = 0; i < idle_spans_.size(); ++i) {
+        const auto& [b, e] = idle_spans_[i];
         const sim::tick lo = std::max(b, begin);
         const sim::tick hi = std::min(e, now);
         if (hi > lo) idle += hi - lo;
@@ -30,13 +31,13 @@ void egress_estimator::on_transmit(sim::tick ts, std::uint32_t bytes)
 {
     // Close any open idle interval: the queue is being served again.
     if (idle_since_ >= 0) {
-        if (ts > idle_since_) idle_spans_.emplace_back(idle_since_, ts);
+        if (ts > idle_since_) idle_spans_.push_back({idle_since_, ts});
         idle_since_ = -1;
     }
     while (!idle_spans_.empty() && idle_spans_.front().second <= ts - window_)
         idle_spans_.pop_front();
 
-    tx_events_.emplace_back(ts, bytes);
+    tx_events_.push_back({ts, bytes});
     tx_window_bytes_ += bytes;
     while (!tx_events_.empty() && tx_events_.front().first <= ts - window_) {
         tx_window_bytes_ -= tx_events_.front().second;
@@ -46,7 +47,7 @@ void egress_estimator::on_transmit(sim::tick ts, std::uint32_t bytes)
     const sim::tick busy = std::max<sim::tick>(window_ - idle_in_window(ts),
                                                window_ / 16);
     last_instant_ = static_cast<double>(tx_window_bytes_) / sim::to_sec(busy);
-    rate_samples_.emplace_back(ts, last_instant_);
+    rate_samples_.push_back({ts, last_instant_});
     recompute(ts);
 }
 
@@ -59,8 +60,12 @@ void egress_estimator::recompute(sim::tick now)
         return;
     }
     // Eq. (4): mean over the window; e_hat: stddev over the same window.
+    // Summed oldest-to-newest in full each call — an incremental running
+    // sum would change the floating-point association and break the
+    // bit-exact reproducibility contract.
     double sum = 0.0, sum_sq = 0.0;
-    for (const auto& [ts, r] : rate_samples_) {
+    for (std::size_t i = 0; i < rate_samples_.size(); ++i) {
+        const double r = rate_samples_[i].second;
         sum += r;
         sum_sq += r * r;
     }

@@ -18,14 +18,18 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
+#include "core/ring.h"
 #include "sim/time.h"
 
 namespace l4span::core {
 
 class egress_estimator {
 public:
+    // Default-constructed estimators (flat-table slots) are inert until
+    // assigned a real one; a zero window never accumulates samples.
+    egress_estimator() = default;
+
     // `window` is tau_c: half the configured channel coherence time.
     explicit egress_estimator(sim::tick window) : window_(window) {}
 
@@ -53,12 +57,12 @@ private:
     void recompute(sim::tick now);
     sim::tick idle_in_window(sim::tick now) const;
 
-    sim::tick window_;
-    std::deque<std::pair<sim::tick, std::uint32_t>> tx_events_;  // (ts, bytes)
+    sim::tick window_ = 0;
+    ring<std::pair<sim::tick, std::uint32_t>> tx_events_;  // (ts, bytes)
     std::uint64_t tx_window_bytes_ = 0;
-    std::deque<std::pair<sim::tick, sim::tick>> idle_spans_;     // [begin, end)
+    ring<std::pair<sim::tick, sim::tick>> idle_spans_;     // [begin, end)
     sim::tick idle_since_ = -1;  // open idle interval, -1 when busy
-    std::deque<std::pair<sim::tick, double>> rate_samples_;      // (ts, r^T)
+    ring<std::pair<sim::tick, double>> rate_samples_;      // (ts, r^T)
     double rate_hat_ = 0.0;
     double rate_err_ = 0.0;
     double last_instant_ = 0.0;

@@ -24,16 +24,14 @@ l4span::l4span(l4span_config cfg)
 
 l4span::drb_state& l4span::drb(ran::rnti_t ue, ran::drb_id_t drb_id)
 {
-    const auto key = drb_key(ue, drb_id);
-    auto it = drbs_.find(key);
-    if (it == drbs_.end()) it = drbs_.emplace(key, drb_state(window_)).first;
-    return it->second;
+    auto [d, inserted] = drbs_.try_emplace(drb_key(ue, drb_id));
+    if (inserted) *d = drb_state(window_);
+    return *d;
 }
 
 const l4span::drb_state* l4span::find_drb(ran::rnti_t ue, ran::drb_id_t drb_id) const
 {
-    const auto it = drbs_.find(drb_key(ue, drb_id));
-    return it != drbs_.end() ? &it->second : nullptr;
+    return drbs_.find(drb_key(ue, drb_id));
 }
 
 sim::tick l4span::rtt_hat(const drb_state& d, const flow_state& flow) const
@@ -186,9 +184,9 @@ bool l4span::on_ul_packet(net::packet& pkt, ran::rnti_t /*ue*/, sim::tick /*now*
     if (!cfg_.short_circuit || !pkt.is_tcp_ack()) return true;
 
     // Reverse-map the ACK to its downlink flow (§4.1).
-    const auto it = flows_.find(pkt.ft.reversed());
-    if (it == flows_.end()) return true;
-    const flow_state& flow = it->second;
+    const flow_state* fs = flows_.find(pkt.ft.reversed());
+    if (!fs) return true;
+    const flow_state& flow = *fs;
 
     auto& h = *pkt.tcp;
     if (flow.accecn) {
@@ -211,9 +209,9 @@ void l4span::on_delivery_status(const ran::dl_delivery_status& st, sim::tick now
     // Find-only: a status about an RNTI whose state was invalidated (RLF
     // re-establishment) or migrated away must not resurrect an empty entry
     // under the dead key — packets create state, feedback never does.
-    const auto it = drbs_.find(drb_key(st.ue, st.drb));
-    if (it == drbs_.end()) return;
-    drb_state& d = it->second;
+    drb_state* found = drbs_.find(drb_key(st.ue, st.drb));
+    if (!found) return;
+    drb_state& d = *found;
     if (st.has_transmitted) {
         d.table.on_transmitted(st.highest_transmitted_sn, st.timestamp,
                                [&](ran::pdcp_sn_t, std::uint32_t bytes) {
@@ -233,8 +231,7 @@ void l4span::on_dl_discard(ran::rnti_t ue, ran::drb_id_t drb_id, ran::pdcp_sn_t 
 {
     // Find-only, like on_delivery_status: late discards for a dead RNTI
     // must not re-create state.
-    const auto it = drbs_.find(drb_key(ue, drb_id));
-    if (it != drbs_.end()) it->second.table.on_discard(sn);
+    if (drb_state* d = drbs_.find(drb_key(ue, drb_id))) d->table.on_discard(sn);
 }
 
 struct l4span::migrated : ran::cu_hook::ue_state {
@@ -245,28 +242,28 @@ struct l4span::migrated : ran::cu_hook::ue_state {
 std::unique_ptr<ran::cu_hook::ue_state> l4span::detach_ue(ran::rnti_t ue)
 {
     auto st = std::make_unique<migrated>();
-    // Both maps are unordered; export in sorted key order so a sharded
+    // Both tables are unordered; export in sorted key order so a sharded
     // multi-cell run stays byte-identical regardless of hash-table history.
     std::vector<std::uint32_t> keys;
-    for (const auto& [key, d] : drbs_) {
-        (void)d;
+    drbs_.for_each([&](std::uint32_t key, const drb_state&) {
         if ((key >> 8) == ue) keys.push_back(key);
-    }
+    });
     std::sort(keys.begin(), keys.end());
     for (const auto key : keys) {
         st->drbs.emplace_back(static_cast<ran::drb_id_t>(key & 0xff),
-                              std::move(drbs_.at(key)));
+                              std::move(*drbs_.find(key)));
         drbs_.erase(key);
     }
     std::vector<net::five_tuple> fts;
-    for (const auto& [ft, fs] : flows_)
+    flows_.for_each([&](const net::five_tuple& ft, const flow_state& fs) {
         if (fs.ue == ue) fts.push_back(ft);
+    });
     std::sort(fts.begin(), fts.end(), [](const net::five_tuple& a, const net::five_tuple& b) {
         return std::tie(a.src_ip, a.dst_ip, a.src_port, a.dst_port, a.proto) <
                std::tie(b.src_ip, b.dst_ip, b.src_port, b.dst_port, b.proto);
     });
     for (const auto& ft : fts) {
-        st->flows.emplace_back(ft, std::move(flows_.at(ft)));
+        st->flows.emplace_back(ft, std::move(*flows_.find(ft)));
         flows_.erase(ft);
     }
     return st;
@@ -276,10 +273,10 @@ void l4span::attach_ue(ran::rnti_t ue, std::unique_ptr<ran::cu_hook::ue_state> s
 {
     auto* st = dynamic_cast<migrated*>(state.get());
     if (!st) return;  // foreign hook's state: nothing to adopt
-    for (auto& [id, d] : st->drbs) drbs_.insert_or_assign(drb_key(ue, id), std::move(d));
+    for (auto& [id, d] : st->drbs) drbs_[drb_key(ue, id)] = std::move(d);
     for (auto& [ft, fs] : st->flows) {
         fs.ue = ue;
-        flows_.insert_or_assign(ft, std::move(fs));
+        flows_[ft] = std::move(fs);
     }
 }
 
@@ -318,14 +315,12 @@ l4span::drb_view l4span::view(ran::rnti_t ue, ran::drb_id_t drb_id) const
 std::vector<ran::rnti_t> l4span::tracked_ues() const
 {
     std::vector<ran::rnti_t> out;
-    for (const auto& [key, d] : drbs_) {
-        (void)d;
+    drbs_.for_each([&](std::uint32_t key, const drb_state&) {
         out.push_back(static_cast<ran::rnti_t>(key >> 8));
-    }
-    for (const auto& [ft, fs] : flows_) {
-        (void)ft;
+    });
+    flows_.for_each([&](const net::five_tuple&, const flow_state& fs) {
         out.push_back(fs.ue);
-    }
+    });
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
     return out;
@@ -334,10 +329,9 @@ std::vector<ran::rnti_t> l4span::tracked_ues() const
 std::size_t l4span::resident_state_bytes() const
 {
     std::size_t total = sizeof(*this);
-    for (const auto& [key, d] : drbs_) {
-        (void)key;
+    drbs_.for_each([&](std::uint32_t, const drb_state& d) {
         total += sizeof(drb_state) + d.table.size() * sizeof(profile_entry);
-    }
+    });
     total += flows_.size() * (sizeof(net::five_tuple) + sizeof(flow_state));
     return total;
 }

@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/egress_estimator.h"
+#include "core/flat_table.h"
 #include "core/marking.h"
 #include "core/profile_table.h"
 #include "net/packet.h"
@@ -171,6 +171,9 @@ private:
         std::uint64_t prev_standing = 0;  // drain detection for the overload brake
         bool draining = false;
 
+        // Default state is inert (zero-window estimator) — the flat table's
+        // empty slots; live entries are assigned a windowed state on insert.
+        drb_state() = default;
         explicit drb_state(sim::tick window) : estimator(window) {}
     };
 
@@ -189,8 +192,10 @@ private:
     sim::tick window_;  // tau_c = coherence_time / 2
     sim::rng rng_;
 
-    std::unordered_map<std::uint32_t, drb_state> drbs_;  // key: (ue << 8) | drb
-    std::unordered_map<net::five_tuple, flow_state, net::five_tuple_hash> flows_;
+    // Open-addressed flat tables: one probe per packet on the marking hot
+    // path instead of unordered_map's node chase.
+    flat_table<std::uint32_t, drb_state, u32_mix_hash> drbs_;  // key: (ue << 8) | drb
+    flat_table<net::five_tuple, flow_state, net::five_tuple_hash> flows_;
 
     std::uint64_t marks_ = 0;
     std::uint64_t drops_ = 0;

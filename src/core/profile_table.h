@@ -5,11 +5,18 @@
 // Feedback arrives as F1-U watermarks ("highest transmitted/delivered SN"),
 // so transmit timestamps are applied to every not-yet-transmitted SN at or
 // below the watermark — exactly the granularity a real CU observes.
+//
+// Storage is a struct-of-arrays ring: SNs are contiguous (entry i lives at
+// logical index sn - first_sn_), so there is no per-SN key — each field
+// (bytes, ingress/transmit/delivery timestamps, discard flag) sits in its
+// own array and the watermark sweeps touch only the arrays they read.
+// Both watermarks advance through monotone cursors, so a feedback report
+// costs O(newly covered SNs), not O(table).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "ran/types.h"
@@ -17,6 +24,8 @@
 
 namespace l4span::core {
 
+// Materialized view of one tracked packet (find(); also the unit the
+// Table 1 memory accounting charges per resident entry).
 struct profile_entry {
     ran::pdcp_sn_t sn = 0;
     std::uint32_t bytes = 0;
@@ -50,17 +59,32 @@ public:
     // Queuing delay of the oldest standing packet (DualPi2-style sojourn).
     sim::tick head_age(sim::tick now) const;
 
-    std::size_t size() const { return entries_.size(); }
-    const profile_entry* find(ran::pdcp_sn_t sn) const;
+    std::size_t size() const { return count_; }
+    std::optional<profile_entry> find(ran::pdcp_sn_t sn) const;
 
     // Drops delivered/discarded entries older than `horizon` before `now`.
     void prune(sim::tick now, sim::tick horizon);
 
 private:
-    std::deque<profile_entry> entries_;  // contiguous SNs: entries_[i].sn = first_sn_ + i
+    std::size_t phys(std::size_t i) const { return (head_ + i) & mask_; }
+    void grow();
+
+    // Parallel arrays, one slot per tracked SN; logical index i holds
+    // sn = first_sn_ + i at physical slot (head_ + i) & mask_.
+    std::vector<std::uint32_t> bytes_;
+    std::vector<sim::tick> t_ingress_;
+    std::vector<sim::tick> t_transmitted_;
+    std::vector<sim::tick> t_delivered_;
+    std::vector<std::uint8_t> discarded_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::size_t mask_ = 0;  // capacity - 1; arrays are empty until first use
+
     ran::pdcp_sn_t first_sn_ = 0;
     bool has_entries_ = false;
-    std::size_t tx_cursor_ = 0;  // index of first not-yet-transmitted entry
+    std::size_t tx_cursor_ = 0;  // logical index of first not-yet-transmitted entry
+    std::size_t dl_cursor_ = 0;  // logical index of first entry above the
+                                 // delivery watermark (watermarks are monotone)
     std::uint64_t standing_bytes_ = 0;
     std::size_t standing_packets_ = 0;
 };

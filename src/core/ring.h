@@ -1,0 +1,70 @@
+// Flat FIFO ring over one contiguous power-of-two array.
+//
+// The L4Span estimator windows (transmit events, idle spans, rate samples)
+// are strict FIFOs: push at the tail, expire from the head, scan in order.
+// std::deque serves that pattern through chunked storage and a map of
+// chunk pointers; this ring keeps the window in one allocation so the
+// per-transmit window scans walk contiguous memory. Indexing is logical:
+// [0] is the oldest element, [size()-1] the newest.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace l4span::core {
+
+template <class T>
+class ring {
+public:
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    T& front() { return buf_[head_]; }
+    const T& front() const { return buf_[head_]; }
+    T& back() { return buf_[phys(count_ - 1)]; }
+    const T& back() const { return buf_[phys(count_ - 1)]; }
+
+    T& operator[](std::size_t i) { return buf_[phys(i)]; }
+    const T& operator[](std::size_t i) const { return buf_[phys(i)]; }
+
+    void push_back(const T& v)
+    {
+        if (count_ == buf_.size()) grow();
+        buf_[phys(count_)] = v;
+        ++count_;
+    }
+
+    void pop_front()
+    {
+        buf_[head_] = T{};  // drop any owned payload eagerly
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void clear()
+    {
+        for (std::size_t i = 0; i < count_; ++i) buf_[phys(i)] = T{};
+        head_ = 0;
+        count_ = 0;
+    }
+
+private:
+    std::size_t phys(std::size_t i) const { return (head_ + i) & mask_; }
+
+    void grow()
+    {
+        const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+        std::vector<T> next(cap);
+        for (std::size_t i = 0; i < count_; ++i) next[i] = std::move(buf_[phys(i)]);
+        buf_ = std::move(next);
+        head_ = 0;
+        mask_ = cap - 1;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::size_t mask_ = 0;
+};
+
+}  // namespace l4span::core

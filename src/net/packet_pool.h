@@ -1,0 +1,124 @@
+// Pooled arena for net::packet.
+//
+// The RAN hot path used to copy whole packets per hop: rlc_tx retained a
+// copy in awaiting_delivery_, the TB chunk carried a second copy over the
+// air, and the map nodes themselves were a malloc/free pair per SDU. The
+// pool replaces all of that with one slab slot per live SDU, shared by
+// reference count and addressed through generation-checked handles (the
+// same slab/free-list/generation scheme sim::event_loop uses for events).
+//
+// Ownership discipline: put() returns a handle owning one reference;
+// add_ref()/release() adjust it; take() consumes one reference and yields
+// the packet by move when it was the last, by copy otherwise. A stale
+// handle (slot recycled, generation advanced) throws instead of aliasing
+// another packet — cheap enough to keep on in release builds.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace l4span::net {
+
+class packet_pool {
+public:
+    static constexpr std::uint32_t k_npos = 0xffffffffu;
+
+    struct handle {
+        std::uint32_t slot = k_npos;
+        std::uint32_t gen = 0;
+        explicit operator bool() const { return slot != k_npos; }
+    };
+
+    // max_slots = 0: grow on demand (the simulator's default). A bounded
+    // pool throws std::length_error on exhaustion instead of growing.
+    explicit packet_pool(std::size_t max_slots = 0) : max_slots_(max_slots) {}
+
+    handle put(packet&& pkt)
+    {
+        std::uint32_t idx;
+        if (free_head_ != k_npos) {
+            idx = free_head_;
+            free_head_ = slots_[idx].next_free;
+        } else {
+            if (max_slots_ != 0 && slots_.size() >= max_slots_)
+                throw std::length_error("packet_pool: exhausted");
+            idx = static_cast<std::uint32_t>(slots_.size());
+            slots_.emplace_back();
+        }
+        slot& s = slots_[idx];
+        s.pkt = std::move(pkt);
+        s.refs = 1;
+        ++live_;
+        return handle{idx, s.gen};
+    }
+
+    void add_ref(handle h) { ++checked(h).refs; }
+
+    void release(handle h)
+    {
+        slot& s = checked(h);
+        if (--s.refs == 0) recycle(h.slot, s);
+    }
+
+    packet& at(handle h) { return checked(h).pkt; }
+    const packet& at(handle h) const
+    {
+        return const_cast<packet_pool*>(this)->checked(h).pkt;
+    }
+
+    // Consumes one reference. Moves the packet out when this was the last
+    // reference (slot recycled); copies when other holders remain.
+    packet take(handle h)
+    {
+        slot& s = checked(h);
+        if (s.refs == 1) {
+            packet out = std::move(s.pkt);
+            s.refs = 0;
+            recycle(h.slot, s);
+            return out;
+        }
+        --s.refs;
+        return s.pkt;
+    }
+
+    std::size_t live() const { return live_; }
+    std::size_t slots() const { return slots_.size(); }
+
+private:
+    struct slot {
+        packet pkt;
+        std::uint32_t gen = 0;
+        std::uint32_t refs = 0;
+        std::uint32_t next_free = k_npos;
+    };
+
+    slot& checked(handle h)
+    {
+        if (h.slot >= slots_.size())
+            throw std::logic_error("packet_pool: invalid handle");
+        slot& s = slots_[h.slot];
+        if (s.gen != h.gen || s.refs == 0)
+            throw std::logic_error("packet_pool: stale handle");
+        return s;
+    }
+
+    void recycle(std::uint32_t idx, slot& s)
+    {
+        s.pkt = packet{};  // drop payload refs (app_data) eagerly
+        ++s.gen;
+        s.next_free = free_head_;
+        free_head_ = idx;
+        --live_;
+    }
+
+    std::size_t max_slots_;
+    std::vector<slot> slots_;
+    std::uint32_t free_head_ = k_npos;
+    std::size_t live_ = 0;
+};
+
+}  // namespace l4span::net

@@ -36,7 +36,7 @@ rnti_t gnb::add_ue_impl(std::unique_ptr<chan::link_model> link)
         {},
     });
     allocator_.add_ue();
-    by_rnti_[ue->rnti] = ue.get();
+    rnti_slots_.push_back(ue.get());
     ues_.push_back(std::move(ue));
     return next_rnti_++;
 }
@@ -47,8 +47,8 @@ drb_id_t gnb::add_drb(rnti_t ue, rlc_config cfg)
     const drb_id_t id = static_cast<drb_id_t>(u.drbs.size() + 1);
     drb_ctx d;
     d.id = id;
-    d.tx = std::make_unique<rlc_tx>(ue, id, cfg);
-    d.rx = std::make_unique<rlc_rx>(cfg.mode);
+    d.tx = std::make_unique<rlc_tx>(ue, id, cfg, pool_);
+    d.rx = std::make_unique<rlc_rx>(cfg.mode, pool_);
 
     rlc_tx* tx = d.tx.get();
     rlc_rx* rx = d.rx.get();
@@ -124,6 +124,7 @@ ue_handover_context gnb::detach_ue(rnti_t ue)
     // The dense scheduler slot stays (tombstone) so PRB-allocator indexing
     // is stable; the RNTI stops resolving and is never reused.
     u.drbs.clear();
+    for (auto& tb : u.pending_retx) release_chunks(tb.chunks);
     u.pending_retx.clear();
     u.active = false;
     u.in_outage = false;
@@ -133,7 +134,7 @@ ue_handover_context gnb::detach_ue(rnti_t ue)
         loop_.cancel(u.rlf_timer_id);
         u.rlf_timer_id = 0;
     }
-    by_rnti_.erase(ue);
+    rnti_slots_[ue - 1] = nullptr;
     return ctx;
 }
 
@@ -315,22 +316,28 @@ void gnb::on_slot()
     if (dl) {
         int available_prb = cfg_.mac.n_prb;
 
-        // HARQ retransmissions claim the slot first.
+        // HARQ retransmissions claim the slot first. conclude_tb never
+        // pushes into pending_retx synchronously (retransmissions arrive
+        // via a scheduled HARQ-RTT event), so iterating in place is safe
+        // and keeps the deque's capacity instead of churning it per slot.
         for (auto& u : ues_) {
             if (u->pending_retx.empty()) continue;
-            std::vector<harq_tb> due;
-            std::swap(due, u->pending_retx);
-            for (auto& tb : due) {
+            for (auto& tb : u->pending_retx) {
                 available_prb -= tb.prbs;
                 conclude_tb(std::move(tb));
             }
+            u->pending_retx.clear();
         }
         if (available_prb < 0) available_prb = 0;
 
-        // Collect backlogged UEs and their current link quality.
-        std::vector<sched_input> inputs;
-        std::vector<ue_ctx*> who;
-        std::vector<int> mcs_of;  // per-`who` entry, for the DCI link log
+        // Collect backlogged UEs and their current link quality into
+        // per-slot scratch members (no allocation in the steady state).
+        std::vector<sched_input>& inputs = sched_inputs_;
+        std::vector<ue_ctx*>& who = sched_who_;
+        std::vector<int>& mcs_of = sched_mcs_;  // per-`who` entry, for the DCI link log
+        inputs.clear();
+        who.clear();
+        mcs_of.clear();
         const double eff_re = 168.0 * (1.0 - 0.14) * cap_factor;
         for (auto& u : ues_) {
             if (!u->active) continue;  // detached tombstone: no bearers
@@ -353,7 +360,8 @@ void gnb::on_slot()
             mcs_of.push_back(mcs);
         }
 
-        const std::vector<int> grants = allocator_.allocate(inputs, available_prb);
+        allocator_.allocate(inputs, available_prb, sched_grants_);
+        const std::vector<int>& grants = sched_grants_;
 
         for (std::size_t i = 0; i < who.size(); ++i) {
             ue_ctx& u = *who[i];
@@ -370,7 +378,8 @@ void gnb::on_slot()
                 // across backlogged DRBs, rotating the order per slot so no
                 // bearer is systematically favoured; leftover bytes spill to
                 // whichever bearer still has data.
-                std::vector<drb_ctx*> active;
+                std::vector<drb_ctx*>& active = drb_active_;
+                active.clear();
                 for (auto& d : u.drbs)
                     if (d.tx->backlog_bytes() > 0) active.push_back(&d);
                 const std::size_t n = active.size();
@@ -381,7 +390,8 @@ void gnb::on_slot()
                         k < n ? std::max<std::uint32_t>(
                                     1, grant_bytes / static_cast<std::uint32_t>(n - k))
                               : grant_bytes;
-                    auto chunks = d.tx->pull(std::min(share, grant_bytes), now);
+                    auto chunks = take_chunk_vec();
+                    d.tx->pull(std::min(share, grant_bytes), now, chunks);
                     std::uint32_t used = 0;
                     for (const auto& c : chunks) used += c.bytes;
                     grant_bytes -= used;
@@ -389,6 +399,8 @@ void gnb::on_slot()
                     if (!chunks.empty()) {
                         if (on_txlog_) on_txlog_(u.rnti, d.id, used, now);
                         transmit_tb(u, d, std::move(chunks), used, prbs, 1);
+                    } else {
+                        give_chunk_vec(std::move(chunks));
                     }
                 }
             }
@@ -420,12 +432,41 @@ void gnb::transmit_tb(ue_ctx& ue, drb_ctx& drb, std::vector<tb_chunk> chunks,
     conclude_tb(std::move(tb));
 }
 
+void gnb::release_chunks(std::vector<tb_chunk>& chunks)
+{
+    for (auto& c : chunks)
+        if (c.pkt) {
+            pool_.release(c.pkt);
+            c.pkt = {};
+        }
+    give_chunk_vec(std::move(chunks));
+}
+
+std::vector<tb_chunk> gnb::take_chunk_vec()
+{
+    if (chunk_vec_pool_.empty()) return {};
+    std::vector<tb_chunk> v = std::move(chunk_vec_pool_.back());
+    chunk_vec_pool_.pop_back();
+    return v;
+}
+
+void gnb::give_chunk_vec(std::vector<tb_chunk> v)
+{
+    if (chunk_vec_pool_.size() >= 64) return;  // cap the recycler
+    v.clear();
+    chunk_vec_pool_.push_back(std::move(v));
+}
+
 void gnb::conclude_tb(harq_tb tb)
 {
     // The UE may have been detached (handover) while this TB was in flight;
-    // its SDUs were forwarded in the handover context, so drop the straggler.
+    // its SDUs were forwarded in the handover context, so drop the straggler
+    // (releasing the chunks' packet references).
     ue_ctx* u = try_ue(tb.ue);
-    if (!u) return;
+    if (!u) {
+        release_chunks(tb.chunks);
+        return;
+    }
     bool decoded;
     if (u->in_outage) {
         // Radio blackout: every TB fails, without consuming an RNG draw so
@@ -441,27 +482,37 @@ void gnb::conclude_tb(harq_tb tb)
     }
     if (decoded) {
         // Decoded: the UE's RLC sees the chunks after the over-the-air delay.
+        // The receive entity takes over each chunk's packet reference; if the
+        // UE vanished meanwhile the references are released here.
         loop_.schedule_after(
             cfg_.mac.ota_delay,
             [this, rnti = tb.ue, drb = tb.drb, chunks = std::move(tb.chunks)]() mutable {
                 ue_ctx* uc = try_ue(rnti);
-                if (!uc) return;
-                drb_ctx* dc = try_drb(*uc, drb);
-                if (!dc) return;
+                drb_ctx* dc = uc ? try_drb(*uc, drb) : nullptr;
+                if (!dc) {
+                    release_chunks(chunks);
+                    return;
+                }
                 for (auto& c : chunks) dc->rx->on_chunk(c, loop_.now());
+                give_chunk_vec(std::move(chunks));
             });
         return;
     }
     if (tb.attempt >= cfg_.mac.max_harq_tx) {
-        // HARQ exhausted: RLC AM requeues, UM loses the data.
+        // HARQ exhausted: RLC AM requeues (from its retention window), UM
+        // loses the data; either way the chunks' own references die here.
         find_drb(*u, tb.drb).tx->on_tb_lost(tb.chunks, loop_.now());
+        release_chunks(tb.chunks);
         return;
     }
     // Schedule the retransmission one HARQ RTT later; it claims PRBs in the
     // first DL slot at or after that time.
     tb.attempt += 1;
     loop_.schedule_after(cfg_.mac.harq_rtt, [this, tb = std::move(tb)]() mutable {
-        if (ue_ctx* uc = try_ue(tb.ue)) uc->pending_retx.push_back(std::move(tb));
+        if (ue_ctx* uc = try_ue(tb.ue))
+            uc->pending_retx.push_back(std::move(tb));
+        else
+            release_chunks(tb.chunks);
     });
 }
 
@@ -507,8 +558,8 @@ gnb::ue_ctx& gnb::find_ue(rnti_t ue)
 
 gnb::ue_ctx* gnb::try_ue(rnti_t ue)
 {
-    const auto it = by_rnti_.find(ue);
-    return it != by_rnti_.end() ? it->second : nullptr;
+    if (ue < 1 || static_cast<std::size_t>(ue) > rnti_slots_.size()) return nullptr;
+    return rnti_slots_[ue - 1];
 }
 
 gnb::drb_ctx& gnb::find_drb(ue_ctx& ue, drb_id_t id)

@@ -5,13 +5,13 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "chan/fading.h"
 #include "chan/link_model.h"
 #include "chan/mcs.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "ran/cu_hook.h"
 #include "ran/mac.h"
 #include "ran/pdcp.h"
@@ -97,7 +97,11 @@ public:
     // Admits a handed-over UE under a freshly assigned RNTI (the channel
     // realization is re-drawn for the new cell; the profile is carried over).
     rnti_t attach_ue(ue_handover_context ctx);
-    bool has_ue(rnti_t ue) const { return by_rnti_.count(ue) != 0; }
+    bool has_ue(rnti_t ue) const
+    {
+        return ue >= 1 && static_cast<std::size_t>(ue) <= rnti_slots_.size() &&
+               rnti_slots_[ue - 1] != nullptr;
+    }
 
     // --- fault injection: radio outage + RLF detection ---
     // The UE's radio link collapses: every TB concluded while in outage
@@ -185,6 +189,11 @@ private:
     void transmit_tb(ue_ctx& ue, drb_ctx& drb, std::vector<tb_chunk> chunks,
                      std::uint32_t bytes, int prbs, int attempt);
     void conclude_tb(harq_tb tb);
+    // Every drop path for an in-flight chunk vector funnels here: the pool
+    // references are released and the vector's capacity is recycled.
+    void release_chunks(std::vector<tb_chunk>& chunks);
+    std::vector<tb_chunk> take_chunk_vec();
+    void give_chunk_vec(std::vector<tb_chunk> v);
     bool is_dl_slot(std::uint64_t slot_idx, double& capacity_factor) const;
     drb_ctx& find_drb(ue_ctx& ue, drb_id_t id);
     ue_ctx& find_ue(rnti_t ue);
@@ -197,8 +206,15 @@ private:
     gnb_config cfg_;
     sim::rng rng_;
     prb_allocator allocator_;
+    // Arena for every packet the DU holds (RLC queues, ARQ retention,
+    // in-flight TB chunks) — one pooled slot per live SDU instead of a
+    // copy per hop.
+    net::packet_pool pool_;
     std::vector<std::unique_ptr<ue_ctx>> ues_;
-    std::unordered_map<rnti_t, ue_ctx*> by_rnti_;
+    // RNTIs are assigned sequentially from 1 and never reused, so the
+    // lookup table is a dense vector indexed by rnti-1 (nullptr after
+    // detach), not a hash map — try_ue is one bounds check and a load.
+    std::vector<ue_ctx*> rnti_slots_;
     cu_hook* hook_ = nullptr;
     deliver_handler on_deliver_;
     uplink_handler on_uplink_;
@@ -213,6 +229,16 @@ private:
     // Kept as a member so a 256-UE cell does not churn an allocation per
     // slot (the old code was an O(UEs x backlogged) pointer scan).
     std::vector<std::uint8_t> considered_scratch_;
+    // More per-slot scratch (scheduler inputs, grants, the per-UE DRB
+    // round-robin list) and a small free list of chunk vectors so the
+    // pull -> HARQ -> deliver pipeline reuses capacity instead of
+    // allocating a vector per transport block.
+    std::vector<sched_input> sched_inputs_;
+    std::vector<ue_ctx*> sched_who_;
+    std::vector<int> sched_mcs_;
+    std::vector<int> sched_grants_;
+    std::vector<drb_ctx*> drb_active_;
+    std::vector<std::vector<tb_chunk>> chunk_vec_pool_;
 };
 
 }  // namespace l4span::ran

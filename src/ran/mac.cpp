@@ -4,10 +4,11 @@
 
 namespace l4span::ran {
 
-std::vector<int> prb_allocator::allocate(const std::vector<sched_input>& in, int available_prb)
+void prb_allocator::allocate(const std::vector<sched_input>& in, int available_prb,
+                             std::vector<int>& grants)
 {
-    std::vector<int> grants(in.size(), 0);
-    if (in.empty() || available_prb <= 0) return grants;
+    grants.assign(in.size(), 0);
+    if (in.empty() || available_prb <= 0) return;
 
     if (cfg_.policy == sched_policy::round_robin) {
         // Equal split among backlogged UEs; the remainder rotates so no UE is
@@ -22,20 +23,21 @@ std::vector<int> prb_allocator::allocate(const std::vector<sched_input>& in, int
             if (extra > 0) --extra;
         }
         rr_cursor_ = (rr_cursor_ + 1) % in.size();
-        return grants;
+        return;
     }
 
     // Proportional fair: hand out one RBG at a time to the UE with the best
     // instantaneous-to-average rate ratio, capping at its backlog.
     const int rbg = std::max(1, cfg_.rbg_size);
     int remaining = available_prb;
-    std::vector<std::uint64_t> planned_bytes(in.size(), 0);
+    std::vector<std::uint64_t>& planned_bytes = planned_scratch_;
+    planned_bytes.assign(in.size(), 0);
     while (remaining > 0) {
         double best_metric = -1.0;
         int best = -1;
         for (std::size_t i = 0; i < in.size(); ++i) {
             if (planned_bytes[i] >= in[i].backlog_bytes) continue;  // enough granted
-            const double avg = std::max(1.0, avg_rate_.at(in[i].ue_index));
+            const double avg = std::max(1.0, avg_rate_[in[i].ue_index]);
             const double metric = in[i].bytes_per_prb / avg;
             if (metric > best_metric) {
                 best_metric = metric;
@@ -50,13 +52,6 @@ std::vector<int> prb_allocator::allocate(const std::vector<sched_input>& in, int
                                        give);
         remaining -= give;
     }
-    return grants;
-}
-
-void prb_allocator::update_average(std::uint32_t ue_index, double served_bytes)
-{
-    const double w = 1.0 / cfg_.pf_window_slots;
-    avg_rate_.at(ue_index) = (1.0 - w) * avg_rate_.at(ue_index) + w * served_bytes;
 }
 
 }  // namespace l4span::ran

@@ -46,13 +46,25 @@ public:
 
     void add_ue() { avg_rate_.push_back(1.0); }
 
-    // Returns PRBs granted per input entry (same order as `in`).
-    // `available_prb` may be lower than cfg.n_prb when HARQ retransmissions
-    // already claimed part of the slot.
-    std::vector<int> allocate(const std::vector<sched_input>& in, int available_prb);
+    // PRBs granted per input entry (same order as `in`), written into
+    // `grants` (resized; caller-owned so the per-slot hot path reuses
+    // capacity). `available_prb` may be lower than cfg.n_prb when HARQ
+    // retransmissions already claimed part of the slot.
+    void allocate(const std::vector<sched_input>& in, int available_prb,
+                  std::vector<int>& grants);
+    std::vector<int> allocate(const std::vector<sched_input>& in, int available_prb)
+    {
+        std::vector<int> grants;
+        allocate(in, available_prb, grants);
+        return grants;
+    }
 
     // PF bookkeeping: every slot, fold the bytes actually served.
-    void update_average(std::uint32_t ue_index, double served_bytes);
+    void update_average(std::uint32_t ue_index, double served_bytes)
+    {
+        const double w = 1.0 / cfg_.pf_window_slots;
+        avg_rate_[ue_index] = (1.0 - w) * avg_rate_[ue_index] + w * served_bytes;
+    }
 
     double average_rate(std::uint32_t ue_index) const { return avg_rate_.at(ue_index); }
 
@@ -60,6 +72,7 @@ private:
     mac_config cfg_;
     std::size_t rr_cursor_ = 0;
     std::vector<double> avg_rate_;
+    std::vector<std::uint64_t> planned_scratch_;  // PF inner-loop scratch
 };
 
 }  // namespace l4span::ran

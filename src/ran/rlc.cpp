@@ -11,16 +11,18 @@ bool rlc_tx::enqueue(pdcp_sdu sdu, sim::tick now)
         return false;
     }
     queued_sdu q;
-    q.sdu = std::move(sdu);
+    q.sn = sdu.sn;
+    q.size = sdu.size;
+    q.ingress_time = sdu.ingress_time;
+    q.pkt = pool_.put(std::move(sdu.pkt));
     if (queue_.empty() && retx_queue_.empty()) q.head_time = now;
-    fresh_bytes_ += q.sdu.size;
-    queue_.push_back(std::move(q));
+    fresh_bytes_ += q.size;
+    queue_.push_back(q);
     return true;
 }
 
-std::vector<tb_chunk> rlc_tx::pull(std::uint32_t grant_bytes, sim::tick now)
+void rlc_tx::pull(std::uint32_t grant_bytes, sim::tick now, std::vector<tb_chunk>& out)
 {
-    std::vector<tb_chunk> chunks;
     std::uint32_t remaining = grant_bytes;
     bool txed_any = false;
 
@@ -40,24 +42,26 @@ std::vector<tb_chunk> rlc_tx::pull(std::uint32_t grant_bytes, sim::tick now)
         retx_bytes_ -= take;
         total_txed_bytes_ += take;
         if (c.carries_last) {
+            // The chunk and the ARQ retention window share the slot.
+            pool_.add_ref(r.pkt);
             c.pkt = r.pkt;
-            awaiting_delivery_[r.sn] = {std::move(r.pkt), r.retx_count};
+            awaiting_delivery_.get_or_create(r.sn) = {r.pkt, r.retx_count};
             retx_queue_.pop_front();
         }
-        chunks.push_back(std::move(c));
+        out.push_back(c);
         txed_any = true;
     }
 
     while (remaining > 0 && !queue_.empty()) {
         queued_sdu& q = queue_.front();
         if (q.head_time < 0) q.head_time = now;
-        const std::uint32_t left = q.sdu.size - q.sent;
+        const std::uint32_t left = q.size - q.sent;
         const std::uint32_t take = std::min(left, remaining);
         tb_chunk c;
-        c.sn = q.sdu.sn;
+        c.sn = q.sn;
         c.bytes = take;
-        c.sdu_total = q.sdu.size;
-        c.carries_last = (q.sent + take == q.sdu.size);
+        c.sdu_total = q.size;
+        c.carries_last = (q.sent + take == q.size);
         q.sent += take;
         remaining -= take;
         fresh_bytes_ -= take;
@@ -65,25 +69,28 @@ std::vector<tb_chunk> rlc_tx::pull(std::uint32_t grant_bytes, sim::tick now)
         if (c.carries_last) {
             if (on_delay_) {
                 sdu_delay_report rep;
-                rep.sn = q.sdu.sn;
-                rep.queuing = std::max<sim::tick>(0, q.head_time - q.sdu.ingress_time);
+                rep.sn = q.sn;
+                rep.queuing = std::max<sim::tick>(0, q.head_time - q.ingress_time);
                 rep.scheduling = std::max<sim::tick>(0, now - q.head_time);
                 on_delay_(rep);
             }
-            highest_txed_ = q.sdu.sn;
+            highest_txed_ = q.sn;
             any_txed_ = true;
-            c.pkt = q.sdu.pkt;
-            if (cfg_.mode == rlc_mode::am)
-                awaiting_delivery_[q.sdu.sn] = {std::move(q.sdu.pkt), q.retx_count};
+            c.pkt = q.pkt;
+            if (cfg_.mode == rlc_mode::am) {
+                // Chunk + retention window share the slot; UM hands the
+                // queue's only reference to the chunk.
+                pool_.add_ref(q.pkt);
+                awaiting_delivery_.get_or_create(q.sn) = {q.pkt, q.retx_count};
+            }
             queue_.pop_front();
             if (!queue_.empty()) queue_.front().head_time = now;
         }
-        chunks.push_back(std::move(c));
+        out.push_back(c);
         txed_any = true;
     }
 
     if (txed_any) emit_status(now);
-    return chunks;
 }
 
 rlc_tx::context rlc_tx::export_context()
@@ -94,21 +101,22 @@ rlc_tx::context rlc_tx::export_context()
 
     // Unacknowledged SDUs: fully transmitted awaiting RLC ACK, plus pending
     // ARQ retransmissions. Sorted by SN so the target retransmits in order
-    // (awaiting_delivery_ is an unordered map; a deterministic export order
-    // is what keeps sharded runs byte-identical).
+    // (the awaiting ring iterates in SN order already; retx entries are
+    // merged in — a deterministic export order is what keeps sharded runs
+    // byte-identical).
     std::vector<pdcp_sdu> unacked;
     unacked.reserve(awaiting_delivery_.size() + retx_queue_.size());
-    for (auto& [sn, entry] : awaiting_delivery_) {
+    awaiting_delivery_.for_each([&](pdcp_sn_t sn, awaiting_sdu& entry) {
         pdcp_sdu s;
         s.sn = sn;
-        s.pkt = std::move(entry.first);
+        s.pkt = pool_.take(entry.pkt);  // in-flight chunks may still share it
         s.size = s.pkt.size_bytes();
         unacked.push_back(std::move(s));
-    }
+    });
     for (auto& r : retx_queue_) {
         pdcp_sdu s;
         s.sn = r.sn;
-        s.pkt = std::move(r.pkt);
+        s.pkt = pool_.take(r.pkt);
         s.size = r.size;
         unacked.push_back(std::move(s));
     }
@@ -117,7 +125,14 @@ rlc_tx::context rlc_tx::export_context()
     ctx.forwarded = std::move(unacked);
     // Fresh queue behind them, already in SN order. A partially pulled head
     // SDU is forwarded whole and re-sent from scratch by the target.
-    for (auto& q : queue_) ctx.forwarded.push_back(std::move(q.sdu));
+    for (auto& q : queue_) {
+        pdcp_sdu s;
+        s.sn = q.sn;
+        s.pkt = pool_.take(q.pkt);
+        s.size = q.size;
+        s.ingress_time = q.ingress_time;
+        ctx.forwarded.push_back(std::move(s));
+    }
 
     queue_.clear();
     retx_queue_.clear();
@@ -132,12 +147,14 @@ void rlc_tx::restore(context ctx, sim::tick now)
     delivered_watermark_ = ctx.delivered_watermark;
     any_delivered_ = ctx.any_delivered;
     for (auto& s : ctx.forwarded) {
-        s.ingress_time = now;  // re-enqueued at the target cell
         queued_sdu q;
-        q.sdu = std::move(s);
+        q.sn = s.sn;
+        q.size = s.size;
+        q.ingress_time = now;  // re-enqueued at the target cell
+        q.pkt = pool_.put(std::move(s.pkt));
         if (queue_.empty()) q.head_time = now;
-        fresh_bytes_ += q.sdu.size;
-        queue_.push_back(std::move(q));
+        fresh_bytes_ += q.size;
+        queue_.push_back(q);
     }
 }
 
@@ -147,26 +164,27 @@ void rlc_tx::on_tb_lost(const std::vector<tb_chunk>& chunks, sim::tick now)
     for (const auto& c : chunks) {
         // Retransmit the whole SDU (segment-level NACK granularity is below
         // the fidelity the queueing model needs). Only the chunk carrying
-        // the last byte still holds the packet.
+        // the last byte maps to a retention-window entry.
         if (!c.carries_last) continue;
-        auto it = awaiting_delivery_.find(c.sn);
-        if (it == awaiting_delivery_.end()) continue;  // already confirmed/requeued
-        const int prior_retx = it->second.second;
+        awaiting_sdu* e = awaiting_delivery_.find(c.sn);
+        if (!e) continue;  // already confirmed/requeued
+        const int prior_retx = e->retx_count;
         if (prior_retx + 1 > cfg_.max_rlc_retx) {
             // Give up: PDCP-level discard. The SN hole is reported so the
             // receive side and L4Span can reconcile.
             if (on_discard_) on_discard_(c.sn, now);
-            awaiting_delivery_.erase(it);
+            pool_.release(e->pkt);
+            awaiting_delivery_.erase(c.sn);
             continue;
         }
         retx_sdu r;
-        r.pkt = std::move(it->second.first);
+        r.pkt = e->pkt;  // the retention reference moves to the retx queue
         r.sn = c.sn;
         r.size = c.sdu_total;
         r.retx_count = prior_retx + 1;
         retx_bytes_ += r.size;
-        retx_queue_.push_back(std::move(r));
-        awaiting_delivery_.erase(it);
+        retx_queue_.push_back(r);
+        awaiting_delivery_.erase(c.sn);
     }
 }
 
@@ -174,9 +192,17 @@ void rlc_tx::on_delivery_confirmed(pdcp_sn_t ack_sn, sim::tick now)
 {
     if (cfg_.mode == rlc_mode::um) return;
     if (any_delivered_ && ack_sn <= delivered_watermark_) return;
-    // Release retained packets up to the cumulative ACK.
+    // Release retained packets up to the cumulative ACK. SNs below the
+    // watermark can never re-enter the window (a lost SN awaiting
+    // retransmission blocks the receive-side watermark), so the ring base
+    // advances with the ACK.
     const pdcp_sn_t from = any_delivered_ ? delivered_watermark_ + 1 : 1;
-    for (pdcp_sn_t sn = from; sn <= ack_sn; ++sn) awaiting_delivery_.erase(sn);
+    for (pdcp_sn_t sn = from; sn <= ack_sn; ++sn)
+        if (awaiting_sdu* e = awaiting_delivery_.find(sn)) {
+            pool_.release(e->pkt);
+            awaiting_delivery_.erase(sn);
+        }
+    awaiting_delivery_.advance_to(ack_sn + 1);
     delivered_watermark_ = ack_sn;
     any_delivered_ = true;
     emit_status(now);
@@ -202,19 +228,28 @@ void rlc_tx::emit_status(sim::tick now)
 
 void rlc_rx::on_chunk(const tb_chunk& chunk, sim::tick now)
 {
-    if (chunk.sn < next_expected_) return;  // duplicate / already skipped
-    partial& p = pending_[chunk.sn];
+    if (chunk.sn < next_expected_) {
+        // Duplicate / already skipped: drop the chunk's reference.
+        if (chunk.pkt) pool_.release(chunk.pkt);
+        return;
+    }
+    pending_sdu& p = window_.get_or_create(chunk.sn);
     p.total = chunk.sdu_total;
     p.received += chunk.bytes;
-    if (chunk.carries_last && chunk.pkt) p.pkt = chunk.pkt;
+    if (chunk.carries_last && chunk.pkt) {
+        if (p.pkt) pool_.release(p.pkt);  // duplicate final segment
+        p.pkt = chunk.pkt;
+    }
     drain(now);
 }
 
 void rlc_rx::skip(pdcp_sn_t sn, sim::tick now)
 {
     if (sn < next_expected_) return;
-    skipped_[sn] = true;
-    pending_.erase(sn);
+    pending_sdu& p = window_.get_or_create(sn);
+    if (p.pkt) pool_.release(p.pkt);
+    p = pending_sdu{};
+    p.skipped = true;
     drain(now);
 }
 
@@ -222,14 +257,14 @@ rlc_rx::context rlc_rx::export_context()
 {
     context ctx;
     ctx.next_expected = next_expected_;
-    ctx.skipped.reserve(skipped_.size());
-    for (const auto& [sn, flag] : skipped_) {
-        (void)flag;
-        ctx.skipped.push_back(sn);
-    }
-    std::sort(ctx.skipped.begin(), ctx.skipped.end());
-    pending_.clear();
-    skipped_.clear();
+    // for_each visits in SN order, so the skipped list comes out sorted.
+    window_.for_each([&](pdcp_sn_t sn, pending_sdu& p) {
+        if (p.skipped)
+            ctx.skipped.push_back(sn);
+        else if (p.pkt)
+            pool_.release(p.pkt);  // partial state is flushed at handover
+    });
+    window_.clear();
     um_gap_deadline_ = -1;
     return ctx;
 }
@@ -237,7 +272,8 @@ rlc_rx::context rlc_rx::export_context()
 void rlc_rx::restore(const context& ctx)
 {
     next_expected_ = ctx.next_expected;
-    for (const pdcp_sn_t sn : ctx.skipped) skipped_[sn] = true;
+    window_.advance_to(next_expected_);
+    for (const pdcp_sn_t sn : ctx.skipped) window_.get_or_create(sn).skipped = true;
     um_gap_deadline_ = -1;
 }
 
@@ -247,37 +283,40 @@ void rlc_rx::drain(sim::tick now)
     // additionally skips a blocking gap once the reassembly timer expires.
     bool advanced = false;
     for (;;) {
-        if (auto sk = skipped_.find(next_expected_); sk != skipped_.end()) {
-            skipped_.erase(sk);
+        pending_sdu* p = window_.find(next_expected_);
+        if (p && p->skipped) {
+            if (p->pkt) pool_.release(p->pkt);
+            window_.erase(next_expected_);
             ++next_expected_;
             advanced = true;
             continue;
         }
-        auto it = pending_.find(next_expected_);
-        const bool blocked =
-            it == pending_.end() || it->second.received < it->second.total ||
-            !it->second.pkt;
+        const bool blocked = !p || p->received < p->total || !p->pkt;
         if (blocked) {
-            if (mode_ != rlc_mode::um || pending_.empty()) break;
+            if (mode_ != rlc_mode::um || window_.empty()) break;
             if (um_gap_deadline_ < 0) {
                 um_gap_deadline_ = now + k_t_reassembly;
                 break;
             }
             if (now < um_gap_deadline_) break;
             // t-Reassembly expired: the hole is declared lost.
-            pending_.erase(next_expected_);
+            if (p) {
+                if (p->pkt) pool_.release(p->pkt);
+                window_.erase(next_expected_);
+            }
             ++next_expected_;
             um_gap_deadline_ = -1;
             advanced = true;
             continue;
         }
-        net::packet out = std::move(*it->second.pkt);
-        pending_.erase(it);
+        net::packet out = pool_.take(p->pkt);
+        window_.erase(next_expected_);
         ++next_expected_;
         um_gap_deadline_ = -1;
         advanced = true;
         if (on_deliver_) on_deliver_(std::move(out), now);
     }
+    window_.advance_to(next_expected_);
     if (advanced && on_ack_ && mode_ == rlc_mode::am) on_ack_(next_expected_ - 1, now);
 }
 

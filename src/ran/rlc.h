@@ -6,16 +6,21 @@
 //    delivery confirmations that feed the F1-U "highest delivered SN".
 //  * UM: no retransmission, transmit feedback only.
 // MAC pulls bytes per grant; SDUs may be segmented across transport blocks.
+//
+// Packet payloads live in a shared net::packet_pool (owned by the gNB): the
+// queue, the ARQ retention window and the in-flight TB chunks all reference
+// the same pooled slot instead of carrying packet copies, and the per-SN
+// maps are sn_ring windows — no per-SDU heap churn on the hot path.
 #pragma once
 
 #include <deque>
 #include <functional>
-#include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "net/packet_pool.h"
 #include "ran/f1u.h"
 #include "ran/pdcp.h"
+#include "ran/sn_ring.h"
 #include "ran/types.h"
 #include "sim/time.h"
 
@@ -28,14 +33,16 @@ struct rlc_config {
     int max_rlc_retx = 8;
 };
 
-// One segment of an SDU inside a transport block.
+// One segment of an SDU inside a transport block. The final chunk carries a
+// pool reference to the SDU's packet; whoever consumes or drops the chunk
+// owns that reference (the gNB releases it on every drop path).
 struct tb_chunk {
     pdcp_sn_t sn = 0;
     std::uint32_t bytes = 0;       // bytes of this SDU carried in this TB
     std::uint32_t sdu_total = 0;   // full SDU size (for receive reassembly)
     bool carries_last = false;     // this chunk contains the SDU's final byte
     bool is_retx = false;
-    std::optional<net::packet> pkt;  // rides with the final chunk
+    net::packet_pool::handle pkt;  // rides with the final chunk
 };
 
 // Per-SDU delay decomposition reported when the SDU completes transmission
@@ -52,7 +59,10 @@ public:
     using delay_handler = std::function<void(const sdu_delay_report&)>;
     using discard_handler = std::function<void(pdcp_sn_t, sim::tick)>;
 
-    rlc_tx(rnti_t ue, drb_id_t drb, rlc_config cfg) : ue_(ue), drb_(drb), cfg_(cfg) {}
+    rlc_tx(rnti_t ue, drb_id_t drb, rlc_config cfg, net::packet_pool& pool)
+        : ue_(ue), drb_(drb), cfg_(cfg), pool_(pool)
+    {
+    }
 
     const rlc_config& config() const { return cfg_; }
 
@@ -66,11 +76,18 @@ public:
     std::size_t queued_sdus() const { return queue_.size(); }
     std::uint64_t queued_bytes() const { return fresh_bytes_; }
 
-    // Pulls up to `grant_bytes` into chunks (retransmissions first). Emits
-    // the F1-U transmit-status feedback when SDUs complete transmission.
-    std::vector<tb_chunk> pull(std::uint32_t grant_bytes, sim::tick now);
+    // Pulls up to `grant_bytes` into `out` (appends; retransmissions first).
+    // Emits the F1-U transmit-status feedback when SDUs complete transmission.
+    void pull(std::uint32_t grant_bytes, sim::tick now, std::vector<tb_chunk>& out);
+    std::vector<tb_chunk> pull(std::uint32_t grant_bytes, sim::tick now)
+    {
+        std::vector<tb_chunk> chunks;
+        pull(grant_bytes, now, chunks);
+        return chunks;
+    }
 
     // HARQ gave up on these chunks: AM re-queues the SDUs, UM loses them.
+    // The chunks' own pool references stay with the caller.
     void on_tb_lost(const std::vector<tb_chunk>& chunks, sim::tick now);
 
     // UE's RLC ACK advanced the in-order delivered watermark to `ack_sn`.
@@ -90,7 +107,8 @@ public:
         pdcp_sn_t delivered_watermark = 0;
         bool any_delivered = false;
     };
-    // Drains this entity into a context; it is left empty.
+    // Drains this entity into a context; it is left empty. Packets are
+    // materialized out of the pool (the context crosses cells, and pools).
     context export_context();
     // Only valid on a freshly constructed entity. Forwarded SDUs re-enter
     // the fresh queue whole (segment-level transfer is below the fidelity
@@ -105,16 +123,25 @@ public:
 
 private:
     struct queued_sdu {
-        pdcp_sdu sdu;
+        pdcp_sn_t sn = 0;
+        std::uint32_t size = 0;
+        sim::tick ingress_time = 0;
+        net::packet_pool::handle pkt;
         std::uint32_t sent = 0;           // bytes already handed to MAC
         sim::tick head_time = -1;         // when it became queue head
         int retx_count = 0;
     };
     struct retx_sdu {
-        net::packet pkt;
-        pdcp_sn_t sn;
-        std::uint32_t size;
+        net::packet_pool::handle pkt;
+        pdcp_sn_t sn = 0;
+        std::uint32_t size = 0;
         std::uint32_t sent = 0;
+        int retx_count = 0;
+    };
+    // AM: SDU fully transmitted, awaiting delivery confirmation; the pool
+    // reference is retained so HARQ give-up can requeue the packet.
+    struct awaiting_sdu {
+        net::packet_pool::handle pkt;
         int retx_count = 0;
     };
 
@@ -123,15 +150,14 @@ private:
     rnti_t ue_;
     drb_id_t drb_;
     rlc_config cfg_;
+    net::packet_pool& pool_;
 
     std::deque<queued_sdu> queue_;      // fresh SDUs, front = head
     std::deque<retx_sdu> retx_queue_;   // AM retransmissions (priority)
     std::uint64_t fresh_bytes_ = 0;
     std::uint64_t retx_bytes_ = 0;
 
-    // AM: SDUs fully transmitted, awaiting delivery confirmation; packets are
-    // retained so HARQ give-up can requeue them.
-    std::unordered_map<pdcp_sn_t, std::pair<net::packet, int>> awaiting_delivery_;
+    sn_ring<awaiting_sdu> awaiting_delivery_;
 
     pdcp_sn_t highest_txed_ = 0;
     bool any_txed_ = false;
@@ -149,13 +175,16 @@ private:
 // order. AM holds indefinitely (ARQ guarantees arrival); UM holds behind a
 // gap only until the reassembly deadline (t-Reassembly, TS 38.322) — long
 // enough for a full HARQ retransmission chain — then skips the hole.
+//
+// on_chunk takes ownership of the chunk's pool reference (released on the
+// duplicate path, stored in the reassembly window otherwise).
 class rlc_rx {
 public:
     using deliver_handler = std::function<void(net::packet, sim::tick)>;
     // AM: in-order delivered watermark advanced (drives the RLC ACK).
     using ack_handler = std::function<void(pdcp_sn_t, sim::tick)>;
 
-    explicit rlc_rx(rlc_mode mode) : mode_(mode) {}
+    rlc_rx(rlc_mode mode, net::packet_pool& pool) : mode_(mode), pool_(pool) {}
 
     void on_chunk(const tb_chunk& chunk, sim::tick now);
 
@@ -182,10 +211,13 @@ public:
     void restore(const context& ctx);
 
 private:
-    struct partial {
+    // One reassembly-window slot: partial/complete SDU data, or a
+    // DU-discarded hole (skipped wins over any data that arrives for it).
+    struct pending_sdu {
         std::uint32_t received = 0;
         std::uint32_t total = 0;
-        std::optional<net::packet> pkt;
+        net::packet_pool::handle pkt;
+        bool skipped = false;
     };
 
     void drain(sim::tick now);
@@ -194,9 +226,9 @@ private:
     static constexpr sim::tick k_t_reassembly = sim::from_ms(35);
 
     rlc_mode mode_;
+    net::packet_pool& pool_;
     pdcp_sn_t next_expected_ = 1;
-    std::unordered_map<pdcp_sn_t, partial> pending_;  // complete or partial, not yet delivered
-    std::unordered_map<pdcp_sn_t, bool> skipped_;     // DU-discarded SNs
+    sn_ring<pending_sdu> window_;
     sim::tick um_gap_deadline_ = -1;                  // UM reassembly timer
 
     deliver_handler on_deliver_;

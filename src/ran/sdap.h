@@ -1,8 +1,11 @@
 // SDAP: maps QoS flow identifiers onto data radio bearers.
+//
+// A UE carries a handful of QoS flows at most, so the map is a flat vector
+// scanned linearly — one cache line instead of a hash probe per downlink
+// packet.
 #pragma once
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -12,27 +15,35 @@ namespace l4span::ran {
 
 class sdap_entity {
 public:
-    void map(qfi_t qfi, drb_id_t drb) { qfi_to_drb_[qfi] = drb; }
+    void map(qfi_t qfi, drb_id_t drb)
+    {
+        for (auto& [q, d] : qfi_to_drb_)
+            if (q == qfi) {
+                d = drb;
+                return;
+            }
+        qfi_to_drb_.emplace_back(qfi, drb);
+    }
 
     void set_default_drb(drb_id_t drb) { default_drb_ = drb; }
 
     // X2/Xn handover export, sorted by QFI for deterministic replay.
     std::vector<std::pair<qfi_t, drb_id_t>> export_mappings() const
     {
-        std::vector<std::pair<qfi_t, drb_id_t>> out(qfi_to_drb_.begin(),
-                                                    qfi_to_drb_.end());
+        std::vector<std::pair<qfi_t, drb_id_t>> out = qfi_to_drb_;
         std::sort(out.begin(), out.end());
         return out;
     }
 
     drb_id_t lookup(qfi_t qfi) const
     {
-        const auto it = qfi_to_drb_.find(qfi);
-        return it != qfi_to_drb_.end() ? it->second : default_drb_;
+        for (const auto& [q, d] : qfi_to_drb_)
+            if (q == qfi) return d;
+        return default_drb_;
     }
 
 private:
-    std::unordered_map<qfi_t, drb_id_t> qfi_to_drb_;
+    std::vector<std::pair<qfi_t, drb_id_t>> qfi_to_drb_;
     drb_id_t default_drb_ = 1;
 };
 

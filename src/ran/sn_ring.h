@@ -1,0 +1,117 @@
+// Sequence-number-keyed ring window.
+//
+// The RLC entities key their in-flight state by PDCP SN, and SNs are
+// monotone with a bounded live window (the ARQ / reassembly horizon), so an
+// unordered_map is pure overhead: every insert/erase is a malloc/free pair
+// and every lookup a hash probe. This ring stores entries in a contiguous
+// power-of-two slab indexed by `sn & mask`, valid for keys in
+// [base, base + capacity). The caller advances `base` explicitly at the
+// points where its protocol guarantees a key can never return (cumulative
+// ACK, in-order delivery watermark).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace l4span::ran {
+
+template <class T>
+class sn_ring {
+public:
+    using key_type = std::uint32_t;
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+    key_type base() const { return base_; }
+    std::size_t capacity() const { return cap_; }
+
+    T* find(key_type sn)
+    {
+        if (sn < base_ || sn >= base_ + cap_ || !used_[idx(sn)]) return nullptr;
+        return &vals_[idx(sn)];
+    }
+    const T* find(key_type sn) const
+    {
+        return const_cast<sn_ring*>(this)->find(sn);
+    }
+
+    // Inserts or returns the existing entry for `sn` (default-constructed on
+    // first touch). Grows the window as needed; sn must be >= base.
+    T& get_or_create(key_type sn)
+    {
+        if (sn < base_) throw std::logic_error("sn_ring: key below window base");
+        while (sn >= base_ + cap_) grow();
+        const std::size_t i = idx(sn);
+        if (!used_[i]) {
+            used_[i] = 1;
+            vals_[i] = T{};
+            ++count_;
+            if (sn >= high_) high_ = sn + 1;
+        }
+        return vals_[i];
+    }
+
+    bool erase(key_type sn)
+    {
+        if (sn < base_ || sn >= base_ + cap_ || !used_[idx(sn)]) return false;
+        used_[idx(sn)] = 0;
+        vals_[idx(sn)] = T{};
+        --count_;
+        return true;
+    }
+
+    // Declares keys below `new_base` dead: they can never be re-inserted.
+    // Any entries still present below it are dropped.
+    void advance_to(key_type new_base)
+    {
+        if (new_base <= base_) return;
+        for (key_type sn = base_; sn < new_base && count_ > 0; ++sn) erase(sn);
+        base_ = new_base;
+        if (high_ < base_) high_ = base_;
+    }
+
+    // In-key-order visit of present entries (cold paths: export, stats).
+    template <class Fn>
+    void for_each(Fn&& fn)
+    {
+        for (key_type sn = base_; sn < high_; ++sn)
+            if (cap_ != 0 && used_[idx(sn)]) fn(sn, vals_[idx(sn)]);
+    }
+
+    void clear()
+    {
+        used_.assign(used_.size(), 0);
+        for (auto& v : vals_) v = T{};
+        count_ = 0;
+        high_ = base_;
+    }
+
+private:
+    std::size_t idx(key_type sn) const { return sn & (cap_ - 1); }
+
+    void grow()
+    {
+        const std::size_t new_cap = cap_ == 0 ? 64 : cap_ * 2;
+        std::vector<T> vals(new_cap);
+        std::vector<std::uint8_t> used(new_cap, 0);
+        for (key_type sn = base_; sn < high_; ++sn) {
+            if (cap_ == 0 || !used_[idx(sn)]) continue;
+            vals[sn & (new_cap - 1)] = std::move(vals_[idx(sn)]);
+            used[sn & (new_cap - 1)] = 1;
+        }
+        vals_ = std::move(vals);
+        used_ = std::move(used);
+        cap_ = new_cap;
+    }
+
+    std::vector<T> vals_;
+    std::vector<std::uint8_t> used_;
+    key_type base_ = 1;   // PDCP SNs start at 1
+    key_type high_ = 1;   // one past the largest key ever inserted
+    std::size_t cap_ = 0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace l4span::ran

@@ -1,5 +1,6 @@
 #include "scenario/cell.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace l4span::scenario {
@@ -297,11 +298,12 @@ cell::cell(sim::event_loop& loop, cell_spec spec, int index)
         sched_sum_ms_ += sim::to_ms(r.scheduling);
         ++delay_reports_;
     });
-    gnb_->set_txlog_handler(
-        [this](ran::rnti_t ue, ran::drb_id_t, std::uint32_t bytes, sim::tick now) {
-            const auto it = by_rnti_.find(ue);
-            if (it != by_rnti_.end()) it->second->tx_log.emplace_back(now, bytes);
-        });
+    if (spec_.record_tx_log)
+        gnb_->set_txlog_handler(
+            [this](ran::rnti_t ue, ran::drb_id_t, std::uint32_t bytes, sim::tick now) {
+                if (ue >= 1 && ue <= rnti_slots_.size())
+                    rnti_slots_[ue - 1]->tx_log.emplace_back(now, bytes);
+            });
 }
 
 cell::~cell() = default;
@@ -322,7 +324,8 @@ ran::rnti_t cell::add_ue(std::uint64_t variant)
     r->default_drb = gnb_->add_drb(rnti, rlc);
     r->classic_drb = spec_.separate_drbs_per_class ? gnb_->add_drb(rnti, rlc)
                                                    : r->default_drb;
-    by_rnti_[rnti] = r.get();
+    rnti_slots_.resize(std::max<std::size_t>(rnti_slots_.size(), rnti), nullptr);
+    rnti_slots_[rnti - 1] = r.get();
     ues_.push_back(std::move(r));
     return rnti;
 }
@@ -421,7 +424,8 @@ ran::rnti_t cell::attach_ue(ran::ue_handover_context ctx)
     r->default_drb = 1;
     r->classic_drb = separated ? 2 : 1;
     r->next_qfi = next_qfi;
-    by_rnti_[rnti] = r.get();
+    rnti_slots_.resize(std::max<std::size_t>(rnti_slots_.size(), rnti), nullptr);
+    rnti_slots_[rnti - 1] = r.get();
     ues_.push_back(std::move(r));
     return rnti;
 }
@@ -453,7 +457,10 @@ const stats::value_series& cell::rlc_queue_series(ran::rnti_t ue) const
 
 const std::vector<std::pair<sim::tick, std::uint32_t>>& cell::tx_log(ran::rnti_t ue) const
 {
-    return rec(ue).tx_log;
+    const ue_rec& r = rec(ue);
+    if (!spec_.record_tx_log)
+        throw std::logic_error("cell: tx_log requires cell_spec.record_tx_log");
+    return r.tx_log;
 }
 
 double cell::mean_queuing_ms() const
@@ -468,9 +475,9 @@ double cell::mean_scheduling_ms() const
 
 cell::ue_rec& cell::rec(ran::rnti_t ue)
 {
-    const auto it = by_rnti_.find(ue);
-    if (it == by_rnti_.end()) throw std::out_of_range("unknown rnti in cell");
-    return *it->second;
+    if (ue < 1 || ue > rnti_slots_.size() || rnti_slots_[ue - 1] == nullptr)
+        throw std::out_of_range("unknown rnti in cell");
+    return *rnti_slots_[ue - 1];
 }
 
 const cell::ue_rec& cell::rec(ran::rnti_t ue) const

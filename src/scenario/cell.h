@@ -81,6 +81,11 @@ struct cell_spec {
     // by cell_scenario only; scenario::topology has no shared wired
     // bottleneck and rejects these.
     std::vector<topo::cross_traffic_spec> cross_traffic;
+    // Record the ground-truth per-TB MAC transmission log (cell::tx_log,
+    // Fig. 20 estimator-error experiments). Off by default: the log costs a
+    // lookup + append per transport block on the per-slot hot path, and
+    // grows without bound over a run.
+    bool record_tx_log = false;
 };
 
 struct flow_spec {
@@ -230,6 +235,8 @@ public:
     core::l4span* l4span_layer() { return l4span_.get(); }
     const stats::sample_set& rlc_queue_sdus(ran::rnti_t ue) const;
     const stats::value_series& rlc_queue_series(ran::rnti_t ue) const;
+    // Requires cell_spec.record_tx_log (throws std::logic_error otherwise —
+    // an empty log would silently read as "no transmissions").
     const std::vector<std::pair<sim::tick, std::uint32_t>>& tx_log(ran::rnti_t ue) const;
     double mean_queuing_ms() const;
     double mean_scheduling_ms() const;
@@ -261,7 +268,9 @@ private:
     ran::cu_hook* hook_ = nullptr;
 
     std::vector<std::unique_ptr<ue_rec>> ues_;  // includes detached tombstones
-    std::unordered_map<ran::rnti_t, ue_rec*> by_rnti_;
+    // RNTIs are assigned densely from 1 by this cell's gNB and never
+    // reused, so the lookup is a vector indexed by rnti-1.
+    std::vector<ue_rec*> rnti_slots_;
 
     double queuing_sum_ms_ = 0.0;
     double sched_sum_ms_ = 0.0;

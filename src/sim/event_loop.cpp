@@ -2,71 +2,17 @@
 
 namespace l4span::sim {
 
-event_loop::event_id event_loop::schedule_at(tick when, handler fn)
-{
-    std::uint32_t s;
-    if (free_head_ != k_npos) {
-        s = free_head_;
-        free_head_ = slab_[s].next_free;
-    } else {
-        s = static_cast<std::uint32_t>(slab_.size());
-        slab_.emplace_back();
-    }
-    slot& e = slab_[s];
-    e.fn = std::move(fn);
-    heap_push({when < now_ ? now_ : when, next_seq_++, s, e.gen});
-    ++live_;
-    return make_id(s, e.gen);
-}
-
-void event_loop::cancel(event_id id)
-{
-    const auto s = static_cast<std::uint32_t>(id & 0xffffffffu);
-    const auto gen = static_cast<std::uint32_t>(id >> 32);
-    if (gen == 0 || s >= slab_.size() || slab_[s].gen != gen) return;
-    release_slot(s);  // the stale heap item is skipped on pop (gen mismatch)
-    --live_;
-}
-
-// Reclaims a slot: drop the handler, invalidate outstanding ids/heap items
-// by bumping the generation, and chain onto the free list.
-void event_loop::release_slot(std::uint32_t s)
-{
-    slot& e = slab_[s];
-    e.fn.reset();
-    if (++e.gen == 0) e.gen = 1;
-    e.next_free = free_head_;
-    free_head_ = s;
-}
-
-bool event_loop::run_one()
-{
-    while (!heap_.empty()) {
-        const heap_item top = heap_.front();
-        heap_pop();
-        if (slab_[top.slot].gen != top.gen) continue;  // cancelled
-        now_ = top.when;
-        callback fn = std::move(slab_[top.slot].fn);
-        // Free the slot before invoking: a handler that reschedules (the
-        // per-slot MAC tick, RTO rearm, ...) reuses its own record.
-        release_slot(top.slot);
-        --live_;
-        ++processed_;
-        fn();
-        return true;
-    }
-    return false;
-}
-
 void event_loop::run_until(tick until)
 {
-    while (!heap_.empty()) {
-        const heap_item& top = heap_.front();
-        if (slab_[top.slot].gen != top.gen) {
-            heap_pop();
+    while (!bheap_.empty()) {
+        bucket& b = buckets_[bheap_[0].bi];
+        const entry e = b.q.front();
+        if (slab_[e.slot].gen != e.gen) {  // cancelled: drop regardless of when
+            b.q.pop_front();
+            if (b.q.empty()) retire_top_bucket();
             continue;
         }
-        if (top.when > until) break;
+        if (b.when > until) break;
         run_one();
     }
     if (now_ < until) now_ = until;
@@ -78,38 +24,72 @@ void event_loop::run()
     }
 }
 
-// Both sifts move a "hole" through the tree and write the carried item once
-// at its final position — half the memory traffic of swap-based sifting.
-void event_loop::heap_push(heap_item item)
+void event_loop::push_new_bucket(tick when, std::uint32_t s, std::uint32_t gen)
 {
-    std::size_t i = heap_.size();
-    heap_.push_back(item);  // grows the vector; the slot is overwritten below
-    while (i > 0) {
-        const std::size_t parent = (i - 1) / 2;
-        if (!earlier(item, heap_[parent])) break;
-        heap_[i] = heap_[parent];
-        i = parent;
+    std::uint32_t bi;
+    if (!bucket_free_.empty()) {
+        bi = bucket_free_.back();  // recycled ring keeps its capacity
+        bucket_free_.pop_back();
+    } else {
+        bi = static_cast<std::uint32_t>(buckets_.size());
+        buckets_.emplace_back();
     }
-    heap_[i] = item;
+    buckets_[bi].when = when;
+    buckets_[bi].q.push_back({s, gen});
+    when_map_[when] = bi;
+    cached_bucket_ = bi;
+    bheap_push({when, bi});
 }
 
-void event_loop::heap_pop()
+void event_loop::retire_top_bucket()
 {
-    const heap_item item = heap_.back();
-    heap_.pop_back();
-    const std::size_t n = heap_.size();
+    const std::uint32_t bi = bheap_[0].bi;
+    when_map_.erase(buckets_[bi].when);
+    if (cached_bucket_ == bi) cached_bucket_ = k_npos;
+    bucket_free_.push_back(bi);
+    bheap_pop();
+}
+
+// Both sifts move a "hole" through the tree and write the carried index once
+// at its final position — half the memory traffic of swap-based sifting.
+//
+// The tree is 4-ary: a wider node halves the number of levels a sift-down
+// touches and its four 16-byte children land in one cache line. The keys
+// (bucket timestamps) are unique among live buckets, so the comparator is a
+// strict total order and the pop sequence is fully determined — any heap
+// shape yields the same event order bit-for-bit.
+void event_loop::bheap_push(bheap_item item)
+{
+    std::size_t i = bheap_.size();
+    bheap_.push_back(item);  // grows the vector; the slot is overwritten below
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (bheap_[parent].when <= item.when) break;
+        bheap_[i] = bheap_[parent];
+        i = parent;
+    }
+    bheap_[i] = item;
+}
+
+void event_loop::bheap_pop()
+{
+    const bheap_item item = bheap_.back();
+    bheap_.pop_back();
+    const std::size_t n = bheap_.size();
     if (n == 0) return;
     std::size_t i = 0;
     while (true) {
-        const std::size_t l = 2 * i + 1, r = l + 1;
-        std::size_t best = l;
-        if (l >= n) break;
-        if (r < n && earlier(heap_[r], heap_[l])) best = r;
-        if (!earlier(heap_[best], item)) break;
-        heap_[i] = heap_[best];
+        const std::size_t first = 4 * i + 1;
+        if (first >= n) break;
+        const std::size_t last = first + 4 < n ? first + 4 : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < last; ++c)
+            if (bheap_[c].when < bheap_[best].when) best = c;
+        if (bheap_[best].when >= item.when) break;
+        bheap_[i] = bheap_[best];
         i = best;
     }
-    heap_[i] = item;
+    bheap_[i] = item;
 }
 
 }  // namespace l4span::sim

@@ -5,12 +5,21 @@
 // given seed set.
 //
 // The hot path is allocation-free: pending events live in a slab of pooled
-// records recycled through a free list, the ready queue is an index-based
-// binary heap over that slab, and handlers are stored in a small-buffer-
-// optimized `callback` whose inline buffer is sized so the simulator's
-// largest common capture (a `this` pointer plus a `net::packet` by value)
-// never touches the heap. Steady-state memory is bounded by the *peak
-// pending* event count, not by the total number of events ever scheduled.
+// records recycled through a free list, the ready queue is a bucket
+// calendar — a small 4-ary min-heap over the *distinct* pending timestamps,
+// each bucket a FIFO ring of events — and handlers are stored in a small-
+// buffer-optimized `callback` whose inline buffer is sized so the
+// simulator's largest common capture (a `this` pointer plus a `net::packet`
+// by value) never touches the heap. Steady-state memory is bounded by the
+// *peak pending* event count, not by the total number of events ever
+// scheduled.
+//
+// Why a bucket calendar: the RAN schedules in slots, so pending timestamps
+// cluster hard — a busy 64-UE cell holds ~50 events per distinct tick
+// (HARQ conclusions and MAC ticks all land on slot boundaries). Pushes and
+// pops onto an existing bucket are O(1) ring operations; the heap is only
+// touched when a timestamp appears or drains, amortizing the sift cost
+// over every event sharing that tick.
 //
 // Thread-safety contract: an event_loop is single-threaded by design — one
 // loop per thread, no internal locking. Parallel experiments give every
@@ -24,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/flat_table.h"
+#include "core/ring.h"
 #include "sim/time.h"
 
 namespace l4span::sim {
@@ -82,6 +93,23 @@ public:
         }
     }
 
+    // Constructs the handler in place (no temporary callback, no relocate) —
+    // the schedule hot path builds handlers directly in their slab slot.
+    template <typename F>
+    void emplace(F&& f)
+    {
+        reset();
+        using fn_t = std::decay_t<F>;
+        if constexpr (sizeof(fn_t) <= k_inline_bytes &&
+                      alignof(fn_t) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void*>(buf_)) fn_t(std::forward<F>(f));
+            vt_ = &inline_vtable<fn_t>;
+        } else {
+            *reinterpret_cast<fn_t**>(buf_) = new fn_t(std::forward<F>(f));
+            vt_ = &heap_vtable<fn_t>;
+        }
+    }
+
 private:
     struct vtable {
         void (*invoke)(void*);
@@ -134,13 +162,34 @@ public:
 
     tick now() const { return now_; }
 
-    // Schedules `fn` at absolute time `when` (clamped to now()).
-    event_id schedule_at(tick when, handler fn);
+    // Schedules `fn` at absolute time `when` (clamped to now()). The
+    // handler is constructed directly in its pooled slab record — the
+    // callable is touched exactly once on the way in.
+    template <typename F>
+    event_id schedule_at(tick when, F&& fn)
+    {
+        const std::uint32_t s = alloc_slot();
+        slot& e = slab_[s];
+        e.fn.emplace(std::forward<F>(fn));
+        queue_push(when < now_ ? now_ : when, s, e.gen);
+        ++live_;
+        return make_id(s, e.gen);
+    }
+    event_id schedule_at(tick when, handler fn)
+    {
+        const std::uint32_t s = alloc_slot();
+        slot& e = slab_[s];
+        e.fn = std::move(fn);
+        queue_push(when < now_ ? now_ : when, s, e.gen);
+        ++live_;
+        return make_id(s, e.gen);
+    }
 
     // Schedules `fn` after a relative delay (clamped to zero).
-    event_id schedule_after(tick delay, handler fn)
+    template <typename F>
+    event_id schedule_after(tick delay, F&& fn)
     {
-        return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+        return schedule_at(now_ + (delay > 0 ? delay : 0), std::forward<F>(fn));
     }
 
     // Cancels a pending event. Cancelling an already-fired, cancelled, or
@@ -149,10 +198,37 @@ public:
     // hit a recycled slot — unless a caller retains an id across ~2^32
     // reuses of one slot (32-bit generation wrap). Callers clear stored ids
     // on fire/cancel (see tcp_sender's RTO), keeping stale ids short-lived.
-    void cancel(event_id id);
+    void cancel(event_id id)
+    {
+        const auto s = static_cast<std::uint32_t>(id & 0xffffffffu);
+        const auto gen = static_cast<std::uint32_t>(id >> 32);
+        if (gen == 0 || s >= slab_.size() || slab_[s].gen != gen) return;
+        release_slot(s);  // the stale heap item is skipped on pop (gen mismatch)
+        --live_;
+    }
 
     // Runs a single event; returns false when the queue is empty.
-    bool run_one();
+    bool run_one()
+    {
+        while (!bheap_.empty()) {
+            bucket& b = buckets_[bheap_[0].bi];
+            const tick when = b.when;
+            const entry e = b.q.front();
+            b.q.pop_front();
+            if (b.q.empty()) retire_top_bucket();  // b is dead past this line
+            if (slab_[e.slot].gen != e.gen) continue;  // cancelled
+            now_ = when;
+            callback fn = std::move(slab_[e.slot].fn);
+            // Free the slot before invoking: a handler that reschedules (the
+            // per-slot MAC tick, RTO rearm, ...) reuses its own record.
+            release_slot(e.slot);
+            --live_;
+            ++processed_;
+            fn();
+            return true;
+        }
+        return false;
+    }
 
     // Runs all events with time <= `until`; afterwards now() == until.
     void run_until(tick until);
@@ -172,43 +248,102 @@ public:
 private:
     static constexpr std::uint32_t k_npos = 0xffffffffu;
 
-    // One pooled record per pending event. `when` lives in the heap item
+    // One pooled record per pending event. `when` lives in the bucket
     // (hot during sifts); the slot only holds what fire/cancel need.
     struct slot {
         callback fn;
         std::uint32_t gen = 1;  // parity with the id; never 0, so id 0 is invalid
         std::uint32_t next_free = k_npos;
     };
-    // Heap items are self-contained (when/seq copied in) so sift compares
-    // never chase the slab.
-    struct heap_item {
-        tick when;
-        std::uint64_t seq;
+    // A queued event: 8 bytes, POD, lives in its timestamp's FIFO ring.
+    struct entry {
         std::uint32_t slot;
         std::uint32_t gen;
+    };
+    // All pending events sharing one timestamp. Ordering within a bucket is
+    // insertion order, and events are only ever appended — which *is* the
+    // old (when, seq) strict total order: the sequence counter was globally
+    // monotone, so arrival order at any given bucket equals seq order. The
+    // FIFO encodes the tie-break structurally and the counter is gone.
+    struct bucket {
+        tick when = 0;
+        core::ring<entry> q;
+    };
+    // Heap node: the key is copied in so sift comparisons walk only the
+    // contiguous heap array and never chase buckets_.
+    struct bheap_item {
+        tick when;
+        std::uint32_t bi;
     };
 
     static event_id make_id(std::uint32_t s, std::uint32_t gen)
     {
         return (static_cast<event_id>(gen) << 32) | s;
     }
-    static bool earlier(const heap_item& a, const heap_item& b)
+
+    // Grabs a free pooled record (or grows the slab).
+    std::uint32_t alloc_slot()
     {
-        if (a.when != b.when) return a.when < b.when;
-        return a.seq < b.seq;
+        if (free_head_ != k_npos) {
+            const std::uint32_t s = free_head_;
+            free_head_ = slab_[s].next_free;
+            return s;
+        }
+        const auto s = static_cast<std::uint32_t>(slab_.size());
+        slab_.emplace_back();
+        return s;
     }
 
-    void heap_push(heap_item item);
-    void heap_pop();
-    void release_slot(std::uint32_t s);
+    // Reclaims a slot: drop the handler, invalidate outstanding ids/heap
+    // items by bumping the generation, and chain onto the free list.
+    void release_slot(std::uint32_t s)
+    {
+        slot& e = slab_[s];
+        e.fn.reset();
+        if (++e.gen == 0) e.gen = 1;
+        e.next_free = free_head_;
+        free_head_ = s;
+    }
+
+    // Enqueues (slot, gen) at `when`. Fast path: the target bucket already
+    // exists (almost always the one the previous push hit — the RAN emits
+    // bursts of same-slot events), so the common cost is one ring append.
+    void queue_push(tick when, std::uint32_t s, std::uint32_t gen)
+    {
+        if (cached_bucket_ != k_npos && buckets_[cached_bucket_].when == when) {
+            buckets_[cached_bucket_].q.push_back({s, gen});
+            return;
+        }
+        if (const std::uint32_t* bi = when_map_.find(when)) {
+            cached_bucket_ = *bi;
+            buckets_[*bi].q.push_back({s, gen});
+            return;
+        }
+        push_new_bucket(when, s, gen);
+    }
+
+    void push_new_bucket(tick when, std::uint32_t s, std::uint32_t gen);
+    // Removes the (drained) earliest bucket from the heap and the when map
+    // and recycles it. Invalidates the push cache if it pointed here — a
+    // cache hit on a retired bucket would strand events in a dead ring.
+    void retire_top_bucket();
+    void bheap_push(bheap_item item);
+    void bheap_pop();
 
     tick now_ = 0;
-    std::uint64_t next_seq_ = 1;
     std::size_t live_ = 0;
     std::uint64_t processed_ = 0;
-    std::vector<heap_item> heap_;
     std::vector<slot> slab_;
     std::uint32_t free_head_ = k_npos;
+
+    // Ready queue: bheap_ is a 4-ary min-heap keyed on the bucket
+    // timestamp; live buckets have unique timestamps (the map guarantees
+    // it), so `when` alone is a strict order and no tie-break is needed.
+    std::vector<bucket> buckets_;
+    std::vector<bheap_item> bheap_;
+    std::vector<std::uint32_t> bucket_free_;
+    core::flat_table<tick, std::uint32_t, core::u64_mix_hash> when_map_;
+    std::uint32_t cached_bucket_ = k_npos;
 };
 
 }  // namespace l4span::sim

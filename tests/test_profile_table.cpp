@@ -43,8 +43,8 @@ TEST(profile_table, timestamps_recorded)
     t.on_ingress(7, 1000, sim::from_ms(3));
     t.on_transmitted(7, sim::from_ms(9), {});
     t.on_delivered(7, sim::from_ms(15));
-    const profile_entry* e = t.find(7);
-    ASSERT_NE(e, nullptr);
+    const std::optional<profile_entry> e = t.find(7);
+    ASSERT_TRUE(e.has_value());
     EXPECT_EQ(e->t_ingress, sim::from_ms(3));
     EXPECT_EQ(e->t_transmitted, sim::from_ms(9));
     EXPECT_EQ(e->t_delivered, sim::from_ms(15));
@@ -100,8 +100,8 @@ TEST(profile_table, prune_drops_settled_old_entries)
     EXPECT_EQ(t.size(), 5u) << "only transmitted+old entries leave";
     EXPECT_EQ(t.standing_bytes(), 500u);
     // Untransmitted entries must survive pruning regardless of age.
-    EXPECT_NE(t.find(6), nullptr);
-    EXPECT_EQ(t.find(5), nullptr);
+    EXPECT_TRUE(t.find(6).has_value());
+    EXPECT_FALSE(t.find(5).has_value());
 }
 
 TEST(profile_table, prune_then_continue_operating)

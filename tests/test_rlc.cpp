@@ -3,6 +3,8 @@
 
 #include "ran/rlc.h"
 
+#include "net/packet_pool.h"
+
 using namespace l4span;
 using namespace l4span::ran;
 
@@ -31,7 +33,8 @@ rlc_config am_cfg(std::size_t max_sdus = 16384)
 
 TEST(rlc_tx, enqueue_respects_queue_limit)
 {
-    rlc_tx tx(1, 1, am_cfg(2));
+    net::packet_pool pool;
+    rlc_tx tx(1, 1, am_cfg(2), pool);
     EXPECT_TRUE(tx.enqueue(mk_sdu(1, 1000), 0));
     EXPECT_TRUE(tx.enqueue(mk_sdu(2, 1000), 0));
     EXPECT_FALSE(tx.has_room());
@@ -42,7 +45,8 @@ TEST(rlc_tx, enqueue_respects_queue_limit)
 
 TEST(rlc_tx, pull_whole_sdus)
 {
-    rlc_tx tx(1, 1, am_cfg());
+    net::packet_pool pool;
+    rlc_tx tx(1, 1, am_cfg(), pool);
     tx.enqueue(mk_sdu(1, 1000), 0);
     tx.enqueue(mk_sdu(2, 1000), 0);
     const auto chunks = tx.pull(2500, sim::from_ms(1));
@@ -55,7 +59,8 @@ TEST(rlc_tx, pull_whole_sdus)
 
 TEST(rlc_tx, segmentation_across_grants)
 {
-    rlc_tx tx(1, 1, am_cfg());
+    net::packet_pool pool;
+    rlc_tx tx(1, 1, am_cfg(), pool);
     tx.enqueue(mk_sdu(1, 3000), 0);
     auto first = tx.pull(1000, 0);
     ASSERT_EQ(first.size(), 1u);
@@ -68,12 +73,13 @@ TEST(rlc_tx, segmentation_across_grants)
     EXPECT_TRUE(second[0].carries_last);
     EXPECT_EQ(second[0].bytes, 2000u);
     EXPECT_EQ(tx.highest_transmitted(), 1u);
-    ASSERT_TRUE(second[0].pkt.has_value()) << "packet rides the final chunk";
+    ASSERT_TRUE(static_cast<bool>(second[0].pkt)) << "packet rides the final chunk";
 }
 
 TEST(rlc_tx, emits_transmit_status)
 {
-    rlc_tx tx(1, 2, am_cfg());
+    net::packet_pool pool;
+    rlc_tx tx(1, 2, am_cfg(), pool);
     std::vector<dl_delivery_status> statuses;
     tx.set_status_handler([&](const dl_delivery_status& s) { statuses.push_back(s); });
     tx.enqueue(mk_sdu(1, 500), 0);
@@ -88,7 +94,8 @@ TEST(rlc_tx, emits_transmit_status)
 
 TEST(rlc_tx, delivery_confirmation_advances_watermark)
 {
-    rlc_tx tx(1, 1, am_cfg());
+    net::packet_pool pool;
+    rlc_tx tx(1, 1, am_cfg(), pool);
     std::vector<dl_delivery_status> statuses;
     tx.set_status_handler([&](const dl_delivery_status& s) { statuses.push_back(s); });
     for (pdcp_sn_t sn = 1; sn <= 3; ++sn) tx.enqueue(mk_sdu(sn, 500), 0);
@@ -104,7 +111,8 @@ TEST(rlc_tx, delivery_confirmation_advances_watermark)
 
 TEST(rlc_tx, am_retransmits_lost_tb)
 {
-    rlc_tx tx(1, 1, am_cfg());
+    net::packet_pool pool;
+    rlc_tx tx(1, 1, am_cfg(), pool);
     tx.enqueue(mk_sdu(1, 1000), 0);
     auto chunks = tx.pull(2000, 0);
     EXPECT_EQ(tx.backlog_bytes(), 0u);
@@ -120,7 +128,8 @@ TEST(rlc_tx, um_does_not_retransmit)
 {
     rlc_config cfg;
     cfg.mode = rlc_mode::um;
-    rlc_tx tx(1, 1, cfg);
+    net::packet_pool pool;
+    rlc_tx tx(1, 1, cfg, pool);
     tx.enqueue(mk_sdu(1, 1000), 0);
     auto chunks = tx.pull(2000, 0);
     tx.on_tb_lost(chunks, sim::from_ms(8));
@@ -131,7 +140,8 @@ TEST(rlc_tx, retx_gives_up_after_max_and_reports_discard)
 {
     rlc_config cfg = am_cfg();
     cfg.max_rlc_retx = 2;
-    rlc_tx tx(1, 1, cfg);
+    net::packet_pool pool;
+    rlc_tx tx(1, 1, cfg, pool);
     std::vector<pdcp_sn_t> discards;
     tx.set_discard_handler([&](pdcp_sn_t sn, sim::tick) { discards.push_back(sn); });
     tx.enqueue(mk_sdu(1, 1000), 0);
@@ -147,7 +157,8 @@ TEST(rlc_tx, retx_gives_up_after_max_and_reports_discard)
 
 TEST(rlc_tx, delay_report_decomposes_queuing_and_scheduling)
 {
-    rlc_tx tx(1, 1, am_cfg());
+    net::packet_pool pool;
+    rlc_tx tx(1, 1, am_cfg(), pool);
     std::vector<sdu_delay_report> reports;
     tx.set_delay_handler([&](const sdu_delay_report& r) { reports.push_back(r); });
     tx.enqueue(mk_sdu(1, 500, sim::from_ms(0)), sim::from_ms(0));
@@ -163,13 +174,14 @@ TEST(rlc_tx, delay_report_decomposes_queuing_and_scheduling)
 
 TEST(rlc_rx, am_delivers_in_order)
 {
-    rlc_rx rx(rlc_mode::am);
+    net::packet_pool pool;
+    rlc_rx rx(rlc_mode::am, pool);
     std::vector<std::uint64_t> delivered;
     std::vector<pdcp_sn_t> acks;
     rx.set_deliver_handler([&](net::packet p, sim::tick) { delivered.push_back(p.pkt_id); });
     rx.set_ack_handler([&](pdcp_sn_t sn, sim::tick) { acks.push_back(sn); });
 
-    auto chunk = [](pdcp_sn_t sn) {
+    auto chunk = [&pool](pdcp_sn_t sn) {
         tb_chunk c;
         c.sn = sn;
         c.bytes = 100;
@@ -177,7 +189,7 @@ TEST(rlc_rx, am_delivers_in_order)
         c.carries_last = true;
         net::packet p;
         p.pkt_id = sn;
-        c.pkt = p;
+        c.pkt = pool.put(std::move(p));
         return c;
     };
     rx.on_chunk(chunk(2), 0);  // out of order: held
@@ -189,7 +201,8 @@ TEST(rlc_rx, am_delivers_in_order)
 
 TEST(rlc_rx, am_reassembles_segments)
 {
-    rlc_rx rx(rlc_mode::am);
+    net::packet_pool pool;
+    rlc_rx rx(rlc_mode::am, pool);
     int delivered = 0;
     rx.set_deliver_handler([&](net::packet, sim::tick) { ++delivered; });
     tb_chunk a;
@@ -203,17 +216,18 @@ TEST(rlc_rx, am_reassembles_segments)
     b.bytes = 40;
     b.sdu_total = 100;
     b.carries_last = true;
-    b.pkt = net::packet{};
+    b.pkt = pool.put(net::packet{});
     rx.on_chunk(b, 1);
     EXPECT_EQ(delivered, 1);
 }
 
 TEST(rlc_rx, skip_unblocks_in_order_delivery)
 {
-    rlc_rx rx(rlc_mode::am);
+    net::packet_pool pool;
+    rlc_rx rx(rlc_mode::am, pool);
     std::vector<std::uint64_t> delivered;
     rx.set_deliver_handler([&](net::packet p, sim::tick) { delivered.push_back(p.pkt_id); });
-    auto chunk = [](pdcp_sn_t sn) {
+    auto chunk = [&pool](pdcp_sn_t sn) {
         tb_chunk c;
         c.sn = sn;
         c.bytes = 100;
@@ -221,7 +235,7 @@ TEST(rlc_rx, skip_unblocks_in_order_delivery)
         c.carries_last = true;
         net::packet p;
         p.pkt_id = sn;
-        c.pkt = p;
+        c.pkt = pool.put(std::move(p));
         return c;
     };
     rx.on_chunk(chunk(2), 0);  // SN 1 missing
@@ -233,10 +247,11 @@ TEST(rlc_rx, skip_unblocks_in_order_delivery)
 TEST(rlc_rx, um_reorders_within_reassembly_window)
 {
     // HARQ can reorder TBs; UM holds a gap until t-Reassembly, then skips.
-    rlc_rx rx(rlc_mode::um);
+    net::packet_pool pool;
+    rlc_rx rx(rlc_mode::um, pool);
     std::vector<std::uint64_t> delivered;
     rx.set_deliver_handler([&](net::packet p, sim::tick) { delivered.push_back(p.pkt_id); });
-    auto chunk = [](pdcp_sn_t sn) {
+    auto chunk = [&pool](pdcp_sn_t sn) {
         tb_chunk c;
         c.sn = sn;
         c.bytes = 100;
@@ -244,7 +259,7 @@ TEST(rlc_rx, um_reorders_within_reassembly_window)
         c.carries_last = true;
         net::packet p;
         p.pkt_id = sn;
-        c.pkt = p;
+        c.pkt = pool.put(std::move(p));
         return c;
     };
     rx.on_chunk(chunk(2), 0);  // gap: SN 1 missing, timer starts
@@ -255,10 +270,11 @@ TEST(rlc_rx, um_reorders_within_reassembly_window)
 
 TEST(rlc_rx, um_skips_hole_after_t_reassembly)
 {
-    rlc_rx rx(rlc_mode::um);
+    net::packet_pool pool;
+    rlc_rx rx(rlc_mode::um, pool);
     std::vector<std::uint64_t> delivered;
     rx.set_deliver_handler([&](net::packet p, sim::tick) { delivered.push_back(p.pkt_id); });
-    auto chunk = [](pdcp_sn_t sn) {
+    auto chunk = [&pool](pdcp_sn_t sn) {
         tb_chunk c;
         c.sn = sn;
         c.bytes = 100;
@@ -266,7 +282,7 @@ TEST(rlc_rx, um_skips_hole_after_t_reassembly)
         c.carries_last = true;
         net::packet p;
         p.pkt_id = sn;
-        c.pkt = p;
+        c.pkt = pool.put(std::move(p));
         return c;
     };
     rx.on_chunk(chunk(2), 0);  // SN 1 lost for good

@@ -172,7 +172,8 @@ TEST(rlc_handover, export_carries_unacked_and_fresh_sdus_in_sn_order)
 {
     ran::rlc_config cfg;
     cfg.mode = ran::rlc_mode::am;
-    ran::rlc_tx src(1, 1, cfg);
+    net::packet_pool pool;
+    ran::rlc_tx src(1, 1, cfg, pool);
     for (ran::pdcp_sn_t sn = 1; sn <= 6; ++sn) src.enqueue(mk_sdu(sn, 1000), 0);
     // Fully transmit SDUs 1-2 (now awaiting delivery), confirm SDU 1,
     // partially transmit SDU 3, leave 4-6 fresh.
@@ -187,7 +188,8 @@ TEST(rlc_handover, export_carries_unacked_and_fresh_sdus_in_sn_order)
     for (std::size_t i = 0; i < ctx.forwarded.size(); ++i)
         EXPECT_EQ(ctx.forwarded[i].sn, i + 2);  // SNs 2,3,4,5,6 in order
 
-    ran::rlc_tx dst(2, 1, cfg);
+    net::packet_pool pool2;
+    ran::rlc_tx dst(2, 1, cfg, pool2);
     dst.restore(std::move(ctx), sim::from_ms(50));
     EXPECT_EQ(dst.queued_sdus(), 5u);
     EXPECT_EQ(dst.backlog_bytes(), 5000u);  // partial send of SN 3 re-sent whole
@@ -201,7 +203,8 @@ TEST(rlc_handover, export_carries_unacked_and_fresh_sdus_in_sn_order)
 
 TEST(rlc_handover, rx_context_preserves_inorder_point_and_skips)
 {
-    ran::rlc_rx src(ran::rlc_mode::am);
+    net::packet_pool pool;
+    ran::rlc_rx src(ran::rlc_mode::am, pool);
     std::vector<ran::pdcp_sn_t> delivered;
     src.set_deliver_handler([&](net::packet p, sim::tick) {
         delivered.push_back(static_cast<ran::pdcp_sn_t>(p.pkt_id));
@@ -213,7 +216,7 @@ TEST(rlc_handover, rx_context_preserves_inorder_point_and_skips)
         c.bytes = 100;
         c.sdu_total = 100;
         c.carries_last = true;
-        c.pkt = mk_sdu(sn, 100).pkt;
+        c.pkt = pool.put(mk_sdu(sn, 100).pkt);
         src.on_chunk(c, 0);
     }
     src.skip(4, 1);
@@ -228,7 +231,8 @@ TEST(rlc_handover, rx_context_preserves_inorder_point_and_skips)
     EXPECT_EQ(ctx.next_expected, 5u);  // 1-3 delivered, 4 skipped
     EXPECT_TRUE(ctx.skipped.empty());  // 4 was consumed by the skip
 
-    ran::rlc_rx dst(ran::rlc_mode::am);
+    net::packet_pool pool2;
+    ran::rlc_rx dst(ran::rlc_mode::am, pool2);
     std::vector<ran::pdcp_sn_t> delivered2;
     dst.set_deliver_handler([&](net::packet p, sim::tick) {
         delivered2.push_back(static_cast<ran::pdcp_sn_t>(p.pkt_id));
@@ -241,7 +245,7 @@ TEST(rlc_handover, rx_context_preserves_inorder_point_and_skips)
         c.bytes = 100;
         c.sdu_total = 100;
         c.carries_last = true;
-        c.pkt = mk_sdu(sn, 100).pkt;
+        c.pkt = pool2.put(mk_sdu(sn, 100).pkt);
         dst.on_chunk(c, 10);
     }
     EXPECT_EQ(delivered2, (std::vector<ran::pdcp_sn_t>{5, 6}));
@@ -251,7 +255,7 @@ TEST(rlc_handover, rx_context_preserves_inorder_point_and_skips)
     dup.bytes = 100;
     dup.sdu_total = 100;
     dup.carries_last = true;
-    dup.pkt = mk_sdu(2, 100).pkt;
+    dup.pkt = pool2.put(mk_sdu(2, 100).pkt);
     dst.on_chunk(dup, 11);
     EXPECT_EQ(delivered2.size(), 2u);
 }
