@@ -51,7 +51,8 @@ struct point_result {
     std::uint64_t events = 0;
 };
 
-point_result run_point(const chaos_point& p, sim::tick duration, int jobs)
+point_result run_point(const chaos_point& p, sim::tick duration, int jobs,
+                       const std::string& obs_out)
 {
     scenario::topology_spec spec;
     spec.num_cells = 3;
@@ -61,6 +62,14 @@ point_result run_point(const chaos_point& p, sim::tick duration, int jobs)
     spec.cell.seed = 41;
     spec.wired_bps = 100e6;  // gives link flaps a hop to cut
     spec.jobs = jobs;
+    if (!obs_out.empty()) {
+        // Flight recorder on: every injected fault dumps the firing shard's
+        // last-N trace events to <prefix>.incident-*.jsonl, and run() writes
+        // the end-of-run metrics + merged trace. Measured results must be
+        // byte-identical with or without this.
+        spec.cell.obs.enabled = true;
+        spec.cell.obs.out_prefix = obs_out;
+    }
     scenario::topology topo(spec);
 
     std::vector<int> handles;
@@ -155,7 +164,12 @@ int main(int argc, char** argv)
     for (const auto& profile : profiles) {
         for (const auto& tr : transports) {
             const chaos_point p{profile, tr.cca, tr.media};
-            const auto r = run_point(p, duration, jobs);
+            const std::string obs =
+                args.obs_out.empty()
+                    ? std::string()
+                    : args.obs_out + "-" + profile.name + "-" + tr.cca +
+                          (tr.media ? "-media" : "");
+            const auto r = run_point(p, duration, jobs, obs);
             char recov[64];
             std::snprintf(recov, sizeof(recov), "%.0f/%.0f",
                           r.recovery_ms.median(), r.recovery_ms.percentile(90));

@@ -29,10 +29,10 @@ struct grid_point {
 };
 
 benchutil::tcp_grid_result run_cell(const grid_point& p, sim::tick duration,
-                                    bool impair_noop)
+                                    bool impair_noop, const std::string& obs_out)
 {
     return benchutil::run_tcp_grid_cell(p.cca, p.ues, p.queue, p.rtt, p.chan, p.on,
-                                        1000, duration, impair_noop);
+                                        1000, duration, impair_noop, obs_out);
 }
 
 }  // namespace
@@ -71,7 +71,12 @@ int main(int argc, char** argv)
                  pool.jobs());
     const auto results =
         pool.map(points.size(), [&](std::size_t i) {
-            return run_cell(points[i], duration, args.impair_noop);
+            // One artifact prefix per grid point, so parallel points never
+            // write over each other's JSONL files.
+            const std::string obs = args.obs_out.empty()
+                                        ? std::string()
+                                        : args.obs_out + "-" + std::to_string(i);
+            return run_cell(points[i], duration, args.impair_noop, obs);
         });
 
     auto summary = stats::json::object();

@@ -29,13 +29,17 @@ struct run_cost {
     std::size_t l4span_state;
 };
 
-run_cost measure(bool busy, bool with_l4span, int ues, double sim_seconds)
+run_cost measure(bool busy, bool with_l4span, int ues, double sim_seconds,
+                 bool traced = false)
 {
     scenario::cell_spec cell;
     cell.num_ues = ues;
     cell.channel = "static";
     cell.cu = with_l4span ? scenario::cu_mode::l4span : scenario::cu_mode::none;
     cell.seed = 103;
+    // In-memory telemetry only (no out_prefix): the traced row pays the
+    // ring writes and metric sampling but no file IO.
+    cell.obs.enabled = traced;
     scenario::cell_scenario s(cell);
     if (busy) {
         for (int u = 0; u < ues; ++u) {
@@ -83,15 +87,16 @@ struct paired_cost {
     double on_min_wall = 0.0;
 };
 
-paired_cost measure_paired(bool busy, int ues, double sim_seconds, int reps)
+template <typename OffFn, typename OnFn>
+paired_cost measure_paired_fns(OffFn off_fn, OnFn on_fn, int reps)
 {
-    (void)measure(busy, false, ues, sim_seconds);  // warmups, discarded
-    (void)measure(busy, true, ues, sim_seconds);
+    (void)off_fn();  // warmups, discarded
+    (void)on_fn();
     std::vector<double> walls_off, walls_on, ratios;
     paired_cost pc;
     for (int i = 0; i < reps; ++i) {
-        pc.off = measure(busy, false, ues, sim_seconds);
-        pc.on = measure(busy, true, ues, sim_seconds);
+        pc.off = off_fn();
+        pc.on = on_fn();
         walls_off.push_back(pc.off.wall_seconds);
         walls_on.push_back(pc.on.wall_seconds);
         const double off_pe = pc.off.wall_seconds / static_cast<double>(pc.off.events);
@@ -104,6 +109,23 @@ paired_cost measure_paired(bool busy, int ues, double sim_seconds, int reps)
     pc.on.wall_seconds = median(walls_on);
     pc.cpu_overhead_pct = 100.0 * (median(ratios) - 1.0);
     return pc;
+}
+
+paired_cost measure_paired(bool busy, int ues, double sim_seconds, int reps)
+{
+    return measure_paired_fns(
+        [=] { return measure(busy, false, ues, sim_seconds); },
+        [=] { return measure(busy, true, ues, sim_seconds); }, reps);
+}
+
+// obs:: tracing cost on the busy L4Span cell: the disabled side still pays
+// the null-tracer branch at every trace site, the enabled side also writes
+// the 32-byte ring events and samples the metric registry.
+paired_cost measure_obs_paired(int ues, double sim_seconds, int reps)
+{
+    return measure_paired_fns(
+        [=] { return measure(true, true, ues, sim_seconds, false); },
+        [=] { return measure(true, true, ues, sim_seconds, true); }, reps);
 }
 
 // --- event-loop scheduling overhead (pure hot path, no RAN work) ------------
@@ -234,6 +256,29 @@ int main(int argc, char** argv)
     }
     t.print();
     summary.set("rows", std::move(rows_json));
+
+    // obs:: telemetry overhead on the same busy cell: tracing off (every
+    // trace site pays one null-pointer branch) vs tracing on (ring writes
+    // + periodic metric snapshots, in memory only).
+    const auto oc = measure_obs_paired(ues, sim_seconds, args.quick ? 3 : 5);
+    const double obs_off_pe = oc.off.events
+        ? oc.off_min_wall * 1e9 / static_cast<double>(oc.off.events) : 0.0;
+    const double obs_on_pe = oc.on.events
+        ? oc.on_min_wall * 1e9 / static_cast<double>(oc.on.events) : 0.0;
+    std::printf("\nobs:: tracing overhead (busy L4Span cell, %d UE DL):\n", ues);
+    stats::table ot({"tracing", "wall (s)", "sim events", "ns/event", "overhead"});
+    ot.add_row({"-", stats::table::num(oc.off.wall_seconds, 3),
+                std::to_string(oc.off.events), stats::table::num(obs_off_pe, 0), "-"});
+    ot.add_row({"+", stats::table::num(oc.on.wall_seconds, 3),
+                std::to_string(oc.on.events), stats::table::num(obs_on_pe, 0),
+                stats::table::num(oc.cpu_overhead_pct, 1) + "%"});
+    ot.print();
+    auto obs_json = stats::json::object();
+    obs_json.set("ns_per_event_off", obs_off_pe)
+        .set("ns_per_event_on", obs_on_pe)
+        .set("overhead_pct", oc.cpu_overhead_pct);
+    summary.set("obs_overhead", std::move(obs_json));
+
     std::puts("\nNote: with L4Span the busy RAN holds far less queued state — the");
     std::puts("shallow RLC queues are themselves a memory win for the DU.");
     return benchutil::finish(args, summary);

@@ -23,7 +23,8 @@ inline tcp_grid_result run_tcp_grid_cell(const std::string& cca, int ues,
                                          std::size_t queue, double wired_owd_ms,
                                          const std::string& chan, bool l4span_on,
                                          std::uint64_t seed_base, sim::tick duration,
-                                         bool impair_noop = false)
+                                         bool impair_noop = false,
+                                         const std::string& obs_out = "")
 {
     scenario::cell_spec cell;
     cell.num_ues = ues;
@@ -35,6 +36,12 @@ inline tcp_grid_result run_tcp_grid_cell(const std::string& cca, int ues,
     // directions; results must be byte-identical to running without them.
     cell.impair_dl.force_stage = impair_noop;
     cell.impair_ul.force_stage = impair_noop;
+    // Telemetry hub: the measured results must not change, only the JSONL
+    // artifacts appear (CI diffs a traced run against an untraced one).
+    if (!obs_out.empty()) {
+        cell.obs.enabled = true;
+        cell.obs.out_prefix = obs_out;
+    }
     scenario::cell_scenario s(cell);
     std::vector<int> handles;
     for (int u = 0; u < ues; ++u) {

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Render obs:: telemetry artifacts into human-readable summaries.
+
+Input is the JSONL artifact set a traced run writes under one prefix:
+  <prefix>.metrics.jsonl        periodic metric snapshots (one line each)
+  <prefix>.trace.jsonl          merged trace-ring dump, (t, shard, seq) order
+  <prefix>.incident-*.jsonl     flight-recorder dumps (one per fault/invariant)
+
+Sections reported:
+  * final metric snapshot per shard (counters, gauges, sojourn histogram)
+  * per-layer latency, joined from the trace events themselves:
+      - RLC queueing: rlc_enqueue -> first mac_tx of the same (shard,
+        bearer, SN)
+      - gNB transit:  rlc_enqueue -> rlc_deliver of the same (shard,
+        flow, packet) — queueing + HARQ + over-the-air + reassembly
+  * mark/drop/reaction rates: event counts grouped by (point, reason) for
+    the AQM, L4Span, impairment and transport trace points
+  * flight-recorder incidents: trigger and the events leading up to it
+
+Timestamps are simulation ticks (1 tick = 1 ns).
+
+Usage: scripts/obs_report.py PREFIX [PREFIX...]
+       scripts/obs_report.py --selftest
+"""
+
+import glob
+import json
+import sys
+
+TICKS_PER_MS = 1_000_000.0
+
+# Points whose (point, reason) counts form the mark/reaction summary.
+RATE_POINTS = (
+    "aqm_mark", "aqm_drop", "l4span_dl", "l4span_ul", "impair",
+    "transport_ce", "transport_loss", "transport_rto", "ecn_fallback",
+    "rlc_discard", "harq_conclude", "fault_fire", "rlf_declared",
+    "ho_start", "ho_complete", "cell_outage", "cell_restore",
+)
+
+
+def read_jsonl(path):
+    with open(path) as f:
+        return [json.loads(line) for line in f if line.strip()]
+
+
+def percentiles(values, points=(50, 90, 99)):
+    if not values:
+        return {p: float("nan") for p in points}
+    vs = sorted(values)
+    out = {}
+    for p in points:
+        idx = min(len(vs) - 1, int(round(p / 100.0 * (len(vs) - 1))))
+        out[p] = vs[idx]
+    return out
+
+
+def layer_latencies(events):
+    """Joins trace events into per-layer latency sample lists (ms)."""
+    queueing, transit = [], []
+    enq_by_sn = {}    # (shard, bearer, sn) -> enqueue tick
+    enq_by_pkt = {}   # (shard, flow<<32|pkt) -> enqueue tick
+    for ev in events:
+        p = ev.get("p")
+        if p == "rlc_enqueue":
+            enq_by_sn[(ev["s"], ev["a"], ev["b"])] = ev["t"]
+            enq_by_pkt[(ev["s"], ev["c"])] = ev["t"]
+        elif p == "mac_tx":
+            key = (ev["s"], ev["a"], ev["b"])
+            t0 = enq_by_sn.pop(key, None)  # first transmission only
+            if t0 is not None:
+                queueing.append((ev["t"] - t0) / TICKS_PER_MS)
+        elif p == "rlc_deliver":
+            t0 = enq_by_pkt.pop((ev["s"], ev["b"]), None)
+            if t0 is not None:
+                transit.append((ev["t"] - t0) / TICKS_PER_MS)
+    return queueing, transit
+
+
+def rate_summary(events):
+    counts = {}
+    for ev in events:
+        p = ev.get("p")
+        if p in RATE_POINTS:
+            key = (p, ev.get("r", "none"))
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def span_ms(events):
+    if not events:
+        return 0.0
+    return (events[-1]["t"] - events[0]["t"]) / TICKS_PER_MS
+
+
+def print_latency_section(events):
+    queueing, transit = layer_latencies(events)
+    print("\nper-layer latency (joined from the trace ring; ms):")
+    for name, samples in (("RLC queueing (enqueue->mac_tx)", queueing),
+                          ("gNB transit (enqueue->deliver)", transit)):
+        if not samples:
+            print(f"  {name:<34} no joined pairs in the retained window")
+            continue
+        pct = percentiles(samples)
+        print(f"  {name:<34} n={len(samples):<7} "
+              f"p50={pct[50]:.2f}  p90={pct[90]:.2f}  p99={pct[99]:.2f}")
+
+
+def print_rate_section(events):
+    counts = rate_summary(events)
+    if not counts:
+        print("\nno mark/reaction events in the retained window")
+        return
+    window = span_ms(events)
+    print(f"\nmark/drop/reaction events (trace window {window:.0f} ms):")
+    for (p, r), n in sorted(counts.items()):
+        rate = n / (window / 1000.0) if window > 0 else 0.0
+        print(f"  {p:<16} {r:<16} {n:>8}  ({rate:,.1f}/s)")
+
+
+def print_metrics_section(lines):
+    if not lines:
+        print("\nno metric snapshots")
+        return
+    # Final snapshot per shard.
+    final = {}
+    for snap in lines:
+        final[snap["s"]] = snap
+    print(f"\nmetrics: {len(lines)} snapshots, {len(final)} shard(s); "
+          "final values:")
+    for s in sorted(final):
+        snap = final[s]
+        print(f"  shard {s} @ {snap['t'] / TICKS_PER_MS:.0f} ms:")
+        for name, v in snap["m"].items():
+            if isinstance(v, dict):  # histogram
+                n, total = v.get("n", 0), v.get("sum", 0.0)
+                mean = total / n if n else 0.0
+                print(f"    {name:<28} n={n} mean={mean:.3f} "
+                      f"buckets={v.get('counts')}")
+            else:
+                print(f"    {name:<28} {v}")
+
+
+def print_incident(path):
+    lines = read_jsonl(path)
+    if not lines:
+        print(f"  {path}: empty")
+        return
+    meta, events = lines[0], lines[1:]
+    t_ms = meta.get("t", 0) / TICKS_PER_MS
+    print(f"  {path}")
+    print(f"    trigger '{meta.get('incident')}' on shard {meta.get('s')} "
+          f"@ {t_ms:.1f} ms — {meta.get('events')} events "
+          f"(ring lifetime {meta.get('ring_total')})")
+    for ev in events[-3:]:
+        print(f"    ... {ev['t'] / TICKS_PER_MS:10.3f} ms  {ev['p']}"
+              f"  {ev.get('r', 'none')}")
+
+
+def report(prefix):
+    print(f"=== obs report: {prefix} ===")
+    try:
+        metrics = read_jsonl(f"{prefix}.metrics.jsonl")
+    except FileNotFoundError:
+        metrics = []
+    try:
+        events = read_jsonl(f"{prefix}.trace.jsonl")
+    except FileNotFoundError:
+        events = []
+    print_metrics_section(metrics)
+    if events:
+        print(f"\ntrace: {len(events)} retained events "
+              f"({span_ms(events):.0f} ms window)")
+        print_latency_section(events)
+        print_rate_section(events)
+    else:
+        print("\nno trace dump")
+    incidents = sorted(glob.glob(f"{prefix}.incident-*.jsonl"))
+    print(f"\nflight-recorder incidents: {len(incidents)}")
+    for path in incidents:
+        print_incident(path)
+    if not metrics and not events and not incidents:
+        print("error: no artifacts found for this prefix", file=sys.stderr)
+        return 1
+    return 0
+
+
+def selftest():
+    """Checks the joins and summaries against synthetic events."""
+    ms = int(TICKS_PER_MS)
+    ev = lambda t, p, s=0, a=0, b=0, c=0, r="none": {
+        "t": t, "p": p, "r": r, "s": s, "a": a, "b": b, "c": c}
+    flowpkt = (3 << 32) | 7
+    events = [
+        ev(0 * ms, "rlc_enqueue", a=0x101, b=5, c=flowpkt),
+        ev(2 * ms, "mac_tx", a=0x101, b=5, c=1440),
+        ev(3 * ms, "mac_tx", a=0x101, b=5, c=1440, r="harq_retx"),  # no rejoin
+        ev(6 * ms, "rlc_deliver", a=0x101, b=flowpkt, c=1440),
+        ev(7 * ms, "aqm_mark", r="l4s_mark"),
+        ev(8 * ms, "aqm_mark", r="l4s_mark"),
+        ev(9 * ms, "l4span_dl", r="ce_mark"),
+        # unmatched enqueue: deliver was overwritten in the ring
+        ev(9 * ms, "rlc_enqueue", a=0x102, b=9, c=(4 << 32) | 1),
+    ]
+    queueing, transit = layer_latencies(events)
+    checks = [
+        ("queueing join count", len(queueing) == 1),
+        ("queueing value", queueing and abs(queueing[0] - 2.0) < 1e-9),
+        ("transit join count", len(transit) == 1),
+        ("transit value", transit and abs(transit[0] - 6.0) < 1e-9),
+        ("retx does not rejoin", len(queueing) == 1),
+        ("rate counts", rate_summary(events).get(("aqm_mark", "l4s_mark")) == 2),
+        ("l4span counted", rate_summary(events).get(("l4span_dl", "ce_mark")) == 1),
+        ("window", abs(span_ms(events) - 9.0) < 1e-9),
+        ("percentile of singleton", percentiles([4.0])[99] == 4.0),
+    ]
+    failed = 0
+    for name, ok in checks:
+        failed += not ok
+        print(f"{'ok   ' if ok else 'FAIL '} selftest: {name}")
+    print(f"selftest: {len(checks)} checks, {failed} failures")
+    return 1 if failed else 0
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if len(argv) >= 2 else 2
+    if argv[1] == "--selftest":
+        return selftest()
+    status = 0
+    for prefix in argv[1:]:
+        status = max(status, report(prefix))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -6,6 +6,9 @@ Gated metrics (the ones the hot-path campaign optimized):
   * every event-loop micro under "event_loop_ns" (schedule+fire,
     schedule+cancel, churn @1024 pending)
   * ns_per_event of each busy row (L4Span off and on)
+  * the obs:: overhead rows: busy ns/event with tracing off (the
+    disabled-telemetry cost every run pays — a regression here means the
+    null-tracer branches stopped being free) and with tracing on
 
 Only regressions gate — a fresh run that is *faster* than the baseline
 prints as an improvement and exits 0 (commit the new JSON to ratchet).
@@ -39,6 +42,11 @@ def gated_metrics(doc):
             continue
         mode = "on" if row.get("l4span") else "off"
         out[f"busy ns/event (L4Span {mode})"] = row.get("ns_per_event")
+    obs = doc.get("obs_overhead") or {}
+    if "ns_per_event_off" in obs:
+        out["busy ns/event (tracing off)"] = obs["ns_per_event_off"]
+    if "ns_per_event_on" in obs:
+        out["busy ns/event (tracing on)"] = obs["ns_per_event_on"]
     return out
 
 
@@ -89,7 +97,7 @@ def run_gate(baseline_doc, fresh_doc, warn_pct, fail_pct):
 
 def selftest():
     """Validates the gate against embedded fixtures."""
-    mk = lambda fire, busy_off, quick=False: {
+    mk = lambda fire, busy_off, quick=False, obs_off=210.0: {
         "quick": quick,
         "event_loop_ns": {"schedule+fire": fire},
         "rows": [
@@ -97,6 +105,8 @@ def selftest():
             {"state": "busy", "l4span": False, "ns_per_event": busy_off},
             {"state": "busy", "l4span": True, "ns_per_event": busy_off * 1.05},
         ],
+        "obs_overhead": {"ns_per_event_off": obs_off,
+                         "ns_per_event_on": obs_off * 1.03},
     }
     base = mk(20.0, 200.0)
     cases = [
@@ -107,6 +117,7 @@ def selftest():
         (mk(30.0, 200.0), 1, "+50% event loop fails"),
         (mk(20.0, 300.0), 1, "+50% busy row fails"),
         (mk(10.0, 100.0), 0, "improvement passes"),
+        (mk(20.0, 200.0, obs_off=280.0), 1, "+33% tracing-off row fails"),
         (mk(20.0, 200.0, quick=True), 0, "quick doc skipped"),
         ({"rows": []}, 1, "empty doc fails"),
     ]

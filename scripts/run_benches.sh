@@ -4,7 +4,7 @@
 # machine-readable summary, collected as BENCH_<fig>.json at the repo root —
 # the per-figure trajectories the ROADMAP tracks.
 #
-#   usage: scripts/run_benches.sh [--jobs N] [--quick] [--profile] [build-dir] [outdir]
+#   usage: scripts/run_benches.sh [--jobs N] [--quick] [--profile] [--obs] [build-dir] [outdir]
 #
 #   --jobs N   worker threads for the grid benches (default: all cores,
 #              also settable via L4SPAN_BENCH_JOBS; 1 = historical serial run)
@@ -12,11 +12,16 @@
 #   --profile  run only bench_fig21_proctime and emit the per-stage
 #              (RLC/MAC/AQM/L4Span) ns breakdown as BENCH_fig21.json --
 #              the starting data for the next hot-path PR
+#   --obs      run bench_fault_chaos with the obs:: telemetry hub enabled:
+#              metric snapshots, trace dumps and flight-recorder incident
+#              files land under <outdir>/obs/, with a rendered summary in
+#              <outdir>/obs_report.txt (results are byte-identical either way)
 set -eu
 
 jobs=${L4SPAN_BENCH_JOBS:-0}
 quick=""
 profile=""
+obs=""
 build_dir=""
 out_dir=""
 while [ $# -gt 0 ]; do
@@ -37,8 +42,12 @@ while [ $# -gt 0 ]; do
             profile=1
             shift
             ;;
+        --obs)
+            obs=1
+            shift
+            ;;
         -*)
-            echo "usage: $0 [--jobs N] [--quick] [--profile] [build-dir] [outdir]" >&2
+            echo "usage: $0 [--jobs N] [--quick] [--profile] [--obs] [build-dir] [outdir]" >&2
             exit 2
             ;;
         *)
@@ -117,6 +126,11 @@ for bin in "$build_dir"/bench_*; do
         if [ "$name" = "bench_trace_replay" ]; then
             set -- "$@" --trace-dir "$repo_root/traces"
         fi
+        # --obs: the chaos bench doubles as the flight-recorder exercise.
+        if [ -n "$obs" ] && [ "$name" = "bench_fault_chaos" ]; then
+            mkdir -p "$out_dir/obs"
+            set -- "$@" --obs-out "$out_dir/obs/chaos"
+        fi
         if [ "$jobs" -gt 0 ] 2>/dev/null; then
             set -- "$@" --jobs "$jobs"
         fi
@@ -137,5 +151,16 @@ done
 if [ "$ran" -eq 0 ]; then
     echo "error: no bench_* binaries in '$build_dir' (built with -DL4SPAN_BUILD_BENCH=ON?)" >&2
     exit 1
+fi
+if [ -n "$obs" ] && [ -d "$out_dir/obs" ]; then
+    echo "== obs_report (telemetry summaries for the chaos run)"
+    prefixes=$(ls "$out_dir"/obs/*.trace.jsonl 2>/dev/null \
+        | sed 's/\.trace\.jsonl$//' || true)
+    if [ -n "$prefixes" ]; then
+        # shellcheck disable=SC2086
+        python3 "$repo_root/scripts/obs_report.py" $prefixes \
+            > "$out_dir/obs_report.txt" 2>&1 || status=1
+        tail -n 5 "$out_dir/obs_report.txt"
+    fi
 fi
 exit $status

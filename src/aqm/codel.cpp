@@ -8,6 +8,7 @@ bool codel_queue::enqueue(net::packet p, sim::tick now)
 {
     if (bytes_ + p.size_bytes() > cfg_.max_bytes) {
         ++drops_;
+        trace(now, obs::point::aqm_drop, obs::reason::queue_overflow, p);
         return false;
     }
     bytes_ += p.size_bytes();
@@ -21,14 +22,16 @@ sim::tick codel_queue::control_law(sim::tick t) const
                                       std::sqrt(static_cast<double>(count_)));
 }
 
-bool codel_queue::act_on(net::packet& p)
+bool codel_queue::act_on(net::packet& p, sim::tick now)
 {
     if (cfg_.ecn_mode && net::is_ect(p.ecn_field)) {
         p.ecn_field = net::ecn::ce;
         ++marks_;
+        trace(now, obs::point::aqm_mark, obs::reason::codel_mark, p);
         return false;
     }
     ++drops_;
+    trace(now, obs::point::aqm_drop, obs::reason::codel_drop, p);
     return true;
 }
 
@@ -61,6 +64,7 @@ std::optional<net::packet> codel_queue::dequeue(sim::tick now)
             if (sojourn >= cfg_.target && net::is_ect(it.pkt.ecn_field)) {
                 it.pkt.ecn_field = net::ecn::ce;
                 ++marks_;
+                trace(now, obs::point::aqm_mark, obs::reason::codel_mark, it.pkt);
             }
             return it.pkt;
         }
@@ -73,7 +77,7 @@ std::optional<net::packet> codel_queue::dequeue(sim::tick now)
             if (now >= drop_next_) {
                 ++count_;
                 drop_next_ = control_law(drop_next_);
-                if (act_on(it.pkt)) continue;  // dropped: take the next packet
+                if (act_on(it.pkt, now)) continue;  // dropped: take the next packet
             }
             return it.pkt;
         }
@@ -84,7 +88,7 @@ std::optional<net::packet> codel_queue::dequeue(sim::tick now)
             count_ = (count_ > 2 && now - drop_next_ < 8 * cfg_.interval) ? count_ - 2 : 1;
             last_count_ = count_;
             drop_next_ = control_law(now);
-            if (act_on(it.pkt)) continue;
+            if (act_on(it.pkt, now)) continue;
         }
         return it.pkt;
     }

@@ -39,7 +39,7 @@ private:
     // Applies CoDel's action to the head packet: returns true when the
     // packet was consumed (dropped); false when it was marked (or ECN-incapable
     // in drop mode resolves to drop).
-    bool act_on(net::packet& p);
+    bool act_on(net::packet& p, sim::tick now);
 
     codel_config cfg_;
     std::deque<item> q_;

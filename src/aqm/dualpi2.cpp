@@ -9,6 +9,7 @@ bool dualpi2_queue::enqueue(net::packet p, sim::tick now)
     maybe_update(now);
     if (bytes_l_ + bytes_c_ + p.size_bytes() > cfg_.max_bytes) {
         ++drops_;
+        trace(now, obs::point::aqm_drop, obs::reason::queue_overflow, p);
         return false;
     }
     // RFC 9331 classifier: ECT(1) and CE go to the L queue.
@@ -60,6 +61,7 @@ std::optional<net::packet> dualpi2_queue::dequeue(sim::tick now)
                 if (net::is_ect(it.pkt.ecn_field) || net::is_ce(it.pkt.ecn_field)) {
                     it.pkt.ecn_field = net::ecn::ce;
                     ++marks_;
+                    trace(now, obs::point::aqm_mark, obs::reason::l4s_mark, it.pkt);
                 }
             }
             return it.pkt;
@@ -76,8 +78,10 @@ std::optional<net::packet> dualpi2_queue::dequeue(sim::tick now)
             if (net::is_ect(it.pkt.ecn_field)) {
                 it.pkt.ecn_field = net::ecn::ce;
                 ++marks_;
+                trace(now, obs::point::aqm_mark, obs::reason::classic_mark, it.pkt);
             } else {
                 ++drops_;
+                trace(now, obs::point::aqm_drop, obs::reason::classic_drop, it.pkt);
                 continue;  // non-ECN classic traffic is dropped
             }
         }

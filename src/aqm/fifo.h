@@ -11,10 +11,11 @@ class fifo_queue : public queue_discipline {
 public:
     explicit fifo_queue(std::size_t max_bytes = 1 << 22) : max_bytes_(max_bytes) {}
 
-    bool enqueue(net::packet p, sim::tick) override
+    bool enqueue(net::packet p, sim::tick now) override
     {
         if (bytes_ + p.size_bytes() > max_bytes_) {
             ++drops_;
+            trace(now, obs::point::aqm_drop, obs::reason::queue_overflow, p);
             return false;
         }
         bytes_ += p.size_bytes();

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "sim/time.h"
 
 namespace l4span::aqm {
@@ -14,6 +15,15 @@ namespace l4span::aqm {
 class queue_discipline {
 public:
     virtual ~queue_discipline() = default;
+
+    // Reason-coded aqm_mark / aqm_drop trace events at every mark and drop
+    // site. `id` labels this queue instance in the merged trace (scenarios
+    // use the cell index; standalone benches 0).
+    void set_tracer(obs::tracer* t, std::uint32_t id)
+    {
+        tracer_ = t;
+        aqm_id_ = id;
+    }
 
     // Returns false when the packet is dropped at enqueue.
     virtual bool enqueue(net::packet p, sim::tick now) = 0;
@@ -30,8 +40,18 @@ public:
     std::uint64_t marks() const { return marks_; }
 
 protected:
+    void trace(sim::tick now, obs::point pt, obs::reason r, const net::packet& p)
+    {
+        if (tracer_)
+            tracer_->emit(now, pt, r, aqm_id_,
+                          (p.flow_id << 32) | (p.pkt_id & 0xffffffffull),
+                          p.payload_bytes);
+    }
+
     std::uint64_t drops_ = 0;
     std::uint64_t marks_ = 0;
+    obs::tracer* tracer_ = nullptr;
+    std::uint32_t aqm_id_ = 0;
 };
 
 }  // namespace l4span::aqm

@@ -124,7 +124,19 @@ bool l4span::on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb_id
     d.table.on_ingress(sn, pkt.size_bytes(), now);
 
     // --- marking decision ---
-    if (pkt.payload_bytes == 0) return true;  // control segments are not marked
+    // One reason-coded trace event per decision; the probability rides in
+    // fixed-point (1e9) in `c`. Emission never touches the RNG or the
+    // decision itself.
+    const auto trace_dl = [&](obs::reason r, double prob) {
+        if (tracer_)
+            tracer_->emit(now, obs::point::l4span_dl, r, drb_key(ue, drb_id),
+                          (pkt.flow_id << 32) | (pkt.pkt_id & 0xffffffffull),
+                          static_cast<std::uint64_t>(prob * 1e9));
+    };
+    if (pkt.payload_bytes == 0) {
+        trace_dl(obs::reason::control, 0.0);
+        return true;  // control segments are not marked
+    }
     const double p = mark_probability(d, flow);
     const bool hit = rng_.bernoulli(p);
 
@@ -137,6 +149,7 @@ bool l4span::on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb_id
         // the knob off are byte-identical.
         if (hit && pkt.ecn_field == net::ecn::not_ect && cfg_.drop_non_ecn) {
             ++drops_;
+            trace_dl(obs::reason::drop_non_ecn, p);
             return false;
         }
         // Tentative mark: bookkeeping only; the signal is injected into the
@@ -148,14 +161,22 @@ bool l4span::on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb_id
         // core AQM marked before the RAN — is passed through as CE feedback
         // rather than miscounted as ECT bytes.
         if (pkt.ecn_field == net::ecn::ce || (hit && net::is_ect(pkt.ecn_field))) {
-            if (pkt.ecn_field != net::ecn::ce) ++marks_;
+            if (pkt.ecn_field != net::ecn::ce) {
+                ++marks_;
+                trace_dl(obs::reason::tentative_mark, p);
+            } else {
+                trace_dl(obs::reason::ce_upstream, p);
+            }
             if (flow.accecn) {
                 flow.ce_pkts += 1;
                 flow.ce_bytes += pkt.payload_bytes;
             } else {
                 flow.ece_active = true;
             }
-        } else if (flow.accecn) {
+            return true;
+        }
+        trace_dl(obs::reason::pass, p);
+        if (flow.accecn) {
             if (pkt.ecn_field == net::ecn::ect1) flow.ect1_bytes += pkt.payload_bytes;
             else if (pkt.ecn_field == net::ecn::ect0) flow.ect0_bytes += pkt.payload_bytes;
             // Not-ECT bytes are not counted anywhere, exactly like the
@@ -170,16 +191,22 @@ bool l4span::on_dl_packet(net::packet& pkt, ran::rnti_t ue, ran::drb_id_t drb_id
         if (net::is_ect(pkt.ecn_field)) {
             pkt.ecn_field = net::ecn::ce;
             ++marks_;
-        } else if (pkt.ecn_field == net::ecn::not_ect && cfg_.drop_non_ecn) {
+            trace_dl(obs::reason::ce_mark, p);
+            return true;
+        }
+        if (pkt.ecn_field == net::ecn::not_ect && cfg_.drop_non_ecn) {
             ++drops_;
+            trace_dl(obs::reason::drop_non_ecn, p);
             return false;
         }
     }
+    trace_dl(obs::reason::pass, p);
     return true;
 }
 
-bool l4span::on_ul_packet(net::packet& pkt, ran::rnti_t /*ue*/, sim::tick /*now*/)
+bool l4span::on_ul_packet(net::packet& pkt, ran::rnti_t ue, sim::tick now)
 {
+    (void)ue;
     ++ul_events_;
     if (!cfg_.short_circuit || !pkt.is_tcp_ack()) return true;
 
@@ -187,6 +214,12 @@ bool l4span::on_ul_packet(net::packet& pkt, ran::rnti_t /*ue*/, sim::tick /*now*
     const flow_state* fs = flows_.find(pkt.ft.reversed());
     if (!fs) return true;
     const flow_state& flow = *fs;
+
+    if (tracer_)
+        tracer_->emit(now, obs::point::l4span_ul,
+                      flow.accecn ? obs::reason::ack_ace : obs::reason::ack_ece,
+                      drb_key(flow.ue, flow.drb), pkt.flow_id,
+                      flow.accecn ? flow.ce_pkts : (flow.ece_active ? 1 : 0));
 
     auto& h = *pkt.tcp;
     if (flow.accecn) {
@@ -295,6 +328,7 @@ void l4span::refresh_marking(drb_state& d)
     // Eq. (1).
     d.p_l4s = marking::p_l4s(d.table.standing_bytes(), cfg_.sojourn_threshold, r_hat,
                              cfg_.error_aware ? d.estimator.rate_err_Bps() : 0.0);
+    if (sojourn_hist_) sojourn_hist_->sample(sim::to_ms(d.predicted_sojourn));
 }
 
 l4span::drb_view l4span::view(ran::rnti_t ue, ran::drb_id_t drb_id) const

@@ -15,6 +15,8 @@
 #include "core/marking.h"
 #include "core/profile_table.h"
 #include "net/packet.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "ran/cu_hook.h"
 #include "sim/rng.h"
 
@@ -143,6 +145,15 @@ public:
     // Approximate resident state (Table 1 substitute).
     std::size_t resident_state_bytes() const;
 
+    // --- observability ---
+    // Reason-coded decision events at every mark/short-circuit branch of
+    // on_dl_packet and the ACK-rewrite branches of on_ul_packet. The
+    // marking draw happens unconditionally either way, so tracing cannot
+    // perturb the RNG stream.
+    void set_tracer(obs::tracer* t) { tracer_ = t; }
+    // Predicted-sojourn distribution (ms), sampled on every marking refresh.
+    void set_sojourn_histogram(obs::histogram* h) { sojourn_hist_ = h; }
+
 private:
     struct flow_state {
         net::flow_class cls = net::flow_class::non_ecn;
@@ -196,6 +207,9 @@ private:
     // path instead of unordered_map's node chase.
     flat_table<std::uint32_t, drb_state, u32_mix_hash> drbs_;  // key: (ue << 8) | drb
     flat_table<net::five_tuple, flow_state, net::five_tuple_hash> flows_;
+
+    obs::tracer* tracer_ = nullptr;
+    obs::histogram* sojourn_hist_ = nullptr;
 
     std::uint64_t marks_ = 0;
     std::uint64_t drops_ = 0;

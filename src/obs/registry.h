@@ -1,0 +1,118 @@
+// Sim-time metrics registry: named counters, gauges and fixed-bucket
+// histograms registered per module, sampled on sim-time ticks into a
+// periodic JSONL snapshot stream (one compact stats::json line per shard
+// per tick).
+//
+// Registration happens at scenario construction (heap is fine there);
+// reads happen at snapshot time on the owning shard's loop thread, so the
+// register-a-lambda-over-an-accessor pattern costs the instrumented module
+// nothing on its hot path. Histograms are the exception: modules sample
+// into them directly (a bucket increment), e.g. L4Span's predicted-sojourn
+// distribution.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+#include "stats/json.h"
+
+namespace l4span::obs {
+
+// Fixed upper-bound buckets (last bucket is +inf). Deterministic by
+// construction: sampling is an integer increment, serialization walks the
+// fixed bounds in order.
+class histogram {
+public:
+    explicit histogram(std::vector<double> upper_bounds)
+        : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0)
+    {
+    }
+
+    void sample(double v)
+    {
+        std::size_t i = 0;
+        while (i < bounds_.size() && v > bounds_[i]) ++i;
+        ++counts_[i];
+        ++total_;
+        sum_ += v;
+    }
+
+    std::uint64_t total() const { return total_; }
+    double sum() const { return sum_; }
+    const std::vector<double>& bounds() const { return bounds_; }
+    const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+    stats::json to_json() const
+    {
+        auto j = stats::json::object();
+        auto bounds = stats::json::array();
+        for (const double b : bounds_) bounds.push(b);
+        auto counts = stats::json::array();
+        for (const std::uint64_t c : counts_) counts.push(c);
+        j.set("bounds", std::move(bounds))
+            .set("counts", std::move(counts))
+            .set("n", total_)
+            .set("sum", sum_);
+        return j;
+    }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+// One registry per shard. Not thread-safe by design: everything it reads is
+// owned by the shard it belongs to, which is what keeps snapshots
+// byte-identical for any --jobs.
+class registry {
+public:
+    void add_counter(std::string name, std::function<std::uint64_t()> read)
+    {
+        counters_.push_back({std::move(name), std::move(read)});
+    }
+
+    void add_gauge(std::string name, std::function<double()> read)
+    {
+        gauges_.push_back({std::move(name), std::move(read)});
+    }
+
+    // The returned pointer is stable for the registry's lifetime (deque).
+    histogram* add_histogram(std::string name, std::vector<double> upper_bounds)
+    {
+        histograms_.emplace_back(std::move(name), histogram(std::move(upper_bounds)));
+        return &histograms_.back().second;
+    }
+
+    std::size_t metric_count() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    // One compact JSONL snapshot line: {"t":..,"s":..,"m":{...}}.
+    std::string snapshot_line(sim::tick now, std::uint8_t shard) const
+    {
+        auto m = stats::json::object();
+        for (const auto& c : counters_) m.set(c.first, c.second());
+        for (const auto& g : gauges_) m.set(g.first, g.second());
+        for (const auto& h : histograms_) m.set(h.first, h.second.to_json());
+        auto line = stats::json::object();
+        line.set("t", static_cast<std::int64_t>(now))
+            .set("s", static_cast<std::uint64_t>(shard))
+            .set("m", std::move(m));
+        return line.dump_compact();
+    }
+
+private:
+    std::vector<std::pair<std::string, std::function<std::uint64_t()>>> counters_;
+    std::vector<std::pair<std::string, std::function<double()>>> gauges_;
+    std::deque<std::pair<std::string, histogram>> histograms_;
+};
+
+}  // namespace l4span::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.h"
+
+namespace l4span::obs {
+
+const char* point_name(point p)
+{
+    switch (p) {
+    case point::none: return "none";
+    case point::sdap_ingress: return "sdap_ingress";
+    case point::ul_ingress: return "ul_ingress";
+    case point::rlc_enqueue: return "rlc_enqueue";
+    case point::rlc_discard: return "rlc_discard";
+    case point::rlc_deliver: return "rlc_deliver";
+    case point::mac_tx: return "mac_tx";
+    case point::harq_conclude: return "harq_conclude";
+    case point::rlf_declared: return "rlf_declared";
+    case point::aqm_mark: return "aqm_mark";
+    case point::aqm_drop: return "aqm_drop";
+    case point::impair: return "impair";
+    case point::l4span_dl: return "l4span_dl";
+    case point::l4span_ul: return "l4span_ul";
+    case point::fault_fire: return "fault_fire";
+    case point::ho_start: return "ho_start";
+    case point::ho_complete: return "ho_complete";
+    case point::cell_outage: return "cell_outage";
+    case point::cell_restore: return "cell_restore";
+    case point::link_flap: return "link_flap";
+    case point::transport_ce: return "transport_ce";
+    case point::transport_loss: return "transport_loss";
+    case point::transport_rto: return "transport_rto";
+    case point::ecn_fallback: return "ecn_fallback";
+    case point::lifecycle: return "lifecycle";
+    case point::invariant: return "invariant";
+    case point::count: break;
+    }
+    return "?";
+}
+
+const char* reason_name(reason r)
+{
+    switch (r) {
+    case reason::none: return "none";
+    case reason::rlc_full: return "rlc_full";
+    case reason::hook_drop: return "hook_drop";
+    case reason::pass: return "pass";
+    case reason::control: return "control";
+    case reason::ce_upstream: return "ce_upstream";
+    case reason::tentative_mark: return "tentative_mark";
+    case reason::ce_mark: return "ce_mark";
+    case reason::drop_non_ecn: return "drop_non_ecn";
+    case reason::ack_ace: return "ack_ace";
+    case reason::ack_ece: return "ack_ece";
+    case reason::queue_overflow: return "queue_overflow";
+    case reason::l4s_mark: return "l4s_mark";
+    case reason::classic_mark: return "classic_mark";
+    case reason::classic_drop: return "classic_drop";
+    case reason::codel_mark: return "codel_mark";
+    case reason::codel_drop: return "codel_drop";
+    case reason::remark: return "remark";
+    case reason::bleach: return "bleach";
+    case reason::strip: return "strip";
+    case reason::gilbert_loss: return "gilbert_loss";
+    case reason::reorder: return "reorder";
+    case reason::duplicate: return "duplicate";
+    case reason::harq_ok: return "harq_ok";
+    case reason::harq_retx: return "harq_retx";
+    case reason::harq_fail: return "harq_fail";
+    case reason::outage: return "outage";
+    case reason::fault_rlf: return "fault_rlf";
+    case reason::fault_ho_failure: return "fault_ho_failure";
+    case reason::fault_cell_outage: return "fault_cell_outage";
+    case reason::fault_link_flap: return "fault_link_flap";
+    case reason::fault_impair_swap: return "fault_impair_swap";
+    case reason::ho_sabotaged: return "ho_sabotaged";
+    case reason::rollback: return "rollback";
+    case reason::reestablish: return "reestablish";
+    case reason::ce_classic: return "ce_classic";
+    case reason::ce_accecn: return "ce_accecn";
+    case reason::rack_loss: return "rack_loss";
+    case reason::dupack_loss: return "dupack_loss";
+    case reason::rto_fire: return "rto_fire";
+    case reason::count: break;
+    }
+    return "?";
+}
+
+}  // namespace l4span::obs

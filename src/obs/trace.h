@@ -1,0 +1,226 @@
+// Structured event tracing: a compact binary ring buffer of sim-time-stamped
+// trace events, one ring per shard, written only by that shard's loop thread.
+//
+// Design constraints (see docs/OBSERVABILITY.md):
+// - Zero heap on the hot path: the ring is preallocated at configure() time
+//   and overwrites the oldest event when full; emit() is a bounds-free store.
+// - Byte-identical simulation whether tracing is on or off: emit() never
+//   draws RNG, never schedules events, never mutates simulated state.
+// - Near-zero cost when disabled: every instrumented module holds a plain
+//   `obs::tracer*` that is nullptr when observability is off, so the guard
+//   is a single well-predicted branch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace l4span::obs {
+
+// Layer-boundary trace points. Append only — the numeric values appear in
+// binary rings that tests snapshot; renumbering breaks nothing at runtime
+// but churns every pinned dump.
+enum class point : std::uint16_t {
+    none = 0,
+    // RAN data path (SDAP -> PDCP -> RLC -> MAC/HARQ)
+    sdap_ingress,   // a=(ue<<8)|drb  b=flow_id          c=pkt_id
+    ul_ingress,     // a=(ue<<8)     b=flow_id          c=pkt_id
+    rlc_enqueue,    // a=(ue<<8)|drb  b=pdcp sn          c=(flow_id<<32)|pkt_id
+    rlc_discard,    // a=(ue<<8)|drb  b=flow_id          c=pkt_id
+    rlc_deliver,    // a=(ue<<8)|drb  b=(flow_id<<32)|pkt_id  c=payload bytes
+    mac_tx,         // a=(ue<<8)|drb  b=pdcp sn          c=chunk bytes
+    harq_conclude,  // a=(ue<<8)|drb  b=attempt          c=tb bytes
+    rlf_declared,   // a=(ue<<8)     b=harq fail streak
+    // Core AQM (wired bottleneck / CU baselines)
+    aqm_mark,  // a=queue id  b=flow_id  c=sojourn ticks
+    aqm_drop,  // a=queue id  b=flow_id  c=queue bytes
+    // topo::path_impairment stages
+    impair,  // a=stage id  b=flow_id  c=pkt_id
+    // L4Span decisions (core/l4span)
+    l4span_dl,  // a=(ue<<8)|drb  b=(flow_id<<32)|pkt_id  c=p_mark * 1e9
+    l4span_ul,  // a=(ue<<8)|drb  b=flow_id               c=marks echoed
+    // Faults, handover, recovery
+    fault_fire,   // a=fault class  b=scheduled tick
+    ho_start,     // a=ue index     b=source cell  c=target cell
+    ho_complete,  // a=ue index     b=source cell  c=target cell
+    cell_outage,  // a=cell index
+    cell_restore, // a=cell index
+    link_flap,    // a=cell index   b=0 down / 1 up
+    // Transport CE / loss reactions
+    transport_ce,    // a=flow_id  b=cwnd bytes  c=ce_fraction * 1e9
+    transport_loss,  // a=flow_id  b=cwnd bytes  c=bytes lost/marked
+    transport_rto,   // a=flow_id  b=cwnd bytes
+    ecn_fallback,    // a=flow_id
+    // Sampled per-packet lifecycle mode (follows one flow end to end)
+    lifecycle,  // a=(ue<<8)|drb  b=pkt_id  c=packet-pool handle / stage datum
+    // Invariant checks (flight-recorder trigger)
+    invariant,  // a=0 ok / 1 tripped
+    count
+};
+
+// Why a trace point fired. One byte; shared across layers so a dump renders
+// with a single reason table.
+enum class reason : std::uint8_t {
+    none = 0,
+    // RAN ingress drops
+    rlc_full,
+    hook_drop,
+    // L4Span downlink decision (§4.2/§4.3 of the paper)
+    pass,            // forwarded unmarked
+    control,         // zero-payload control segment, never marked
+    ce_upstream,     // arrived CE: short-circuited, no extra mark charged
+    tentative_mark,  // short-circuit path marked on behalf of the RAN queue
+    ce_mark,         // normal downlink CE mark
+    drop_non_ecn,    // mark decision on a Not-ECT packet -> CU drop fallback
+    // L4Span uplink feedback rewrite
+    ack_ace,  // AccECN ACE/byte-counter rewrite
+    ack_ece,  // classic ECE latch
+    // AQM verdicts
+    queue_overflow,
+    l4s_mark,
+    classic_mark,
+    classic_drop,
+    codel_mark,
+    codel_drop,
+    // Impairment stages (topo::path_impairment transform order)
+    remark,
+    bleach,
+    strip,
+    gilbert_loss,
+    reorder,
+    duplicate,
+    // HARQ conclusions
+    harq_ok,
+    harq_retx,
+    harq_fail,
+    outage,
+    // Fault classes / recovery outcomes
+    fault_rlf,
+    fault_ho_failure,
+    fault_cell_outage,
+    fault_link_flap,
+    fault_impair_swap,
+    ho_sabotaged,
+    rollback,
+    reestablish,
+    // Transport signals
+    ce_classic,
+    ce_accecn,
+    rack_loss,
+    dupack_loss,
+    rto_fire,
+    count
+};
+
+const char* point_name(point p);
+const char* reason_name(reason r);
+
+// One fixed-size binary record. 32 bytes so a 8192-slot ring is 256 KiB.
+struct trace_event {
+    sim::tick t = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    std::uint32_t a = 0;
+    std::uint16_t pt = 0;
+    std::uint8_t rsn = 0;
+    std::uint8_t shard = 0;
+};
+static_assert(sizeof(trace_event) == 32, "trace_event must stay one cache-line half");
+
+// Preallocated overwrite-oldest ring. Single-writer (the owning shard's loop
+// thread); readers run either on the same thread (flight-recorder dumps) or
+// after the simulation stops (final merge).
+class trace_ring {
+public:
+    trace_ring() = default;
+
+    void reset(std::size_t capacity)
+    {
+        buf_.assign(capacity, trace_event{});
+        next_ = 0;
+    }
+
+    void push(const trace_event& ev)
+    {
+        buf_[static_cast<std::size_t>(next_ % buf_.size())] = ev;
+        ++next_;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+    // Events ever pushed (also the global per-shard sequence number of the
+    // next event — the deterministic merge tiebreaker).
+    std::uint64_t total() const { return next_; }
+    std::size_t size() const
+    {
+        return static_cast<std::size_t>(
+            next_ < buf_.size() ? next_ : static_cast<std::uint64_t>(buf_.size()));
+    }
+
+    // i-th retained event, oldest first.
+    const trace_event& at(std::size_t i) const
+    {
+        const std::uint64_t first = next_ - size();
+        return buf_[static_cast<std::size_t>((first + i) % buf_.size())];
+    }
+
+    // Appends the last min(n, size()) events, oldest first.
+    void last_n(std::size_t n, std::vector<trace_event>& out) const
+    {
+        const std::size_t have = size();
+        const std::size_t take = n < have ? n : have;
+        for (std::size_t i = have - take; i < have; ++i) out.push_back(at(i));
+    }
+
+private:
+    std::vector<trace_event> buf_;
+    std::uint64_t next_ = 0;
+};
+
+// Per-shard emission facade handed (as a raw pointer) to every instrumented
+// module on that shard. Disabled tracers are simply never handed out — the
+// module-side nullptr check is the enable flag.
+class tracer {
+public:
+    using incident_fn = std::function<void(sim::tick, const char*)>;
+
+    void configure(std::uint8_t shard, std::size_t ring_capacity)
+    {
+        shard_ = shard;
+        ring_.reset(ring_capacity ? ring_capacity : 1);
+    }
+
+    void emit(sim::tick t, point p, reason r = reason::none, std::uint32_t a = 0,
+              std::uint64_t b = 0, std::uint64_t c = 0)
+    {
+        ring_.push({t, b, c, a, static_cast<std::uint16_t>(p),
+                    static_cast<std::uint8_t>(r), shard_});
+    }
+
+    // Per-packet lifecycle mode: modules ask before emitting `lifecycle`
+    // events for a packet's flow.
+    void set_lifecycle_flow(std::uint64_t flow_id) { lifecycle_flow_ = flow_id; }
+    bool wants_flow(std::uint64_t flow_id) const { return flow_id == lifecycle_flow_; }
+
+    // Flight-recorder trigger: forwards to the owning hub, which dumps this
+    // shard's last N events. Runs on the shard's own thread, so the dump
+    // reads a quiescent ring.
+    void set_incident_handler(incident_fn f) { incident_ = std::move(f); }
+    void request_incident(sim::tick now, const char* why)
+    {
+        if (incident_) incident_(now, why);
+    }
+
+    std::uint8_t shard() const { return shard_; }
+    trace_ring& ring() { return ring_; }
+    const trace_ring& ring() const { return ring_; }
+
+private:
+    trace_ring ring_;
+    std::uint64_t lifecycle_flow_ = ~0ull;
+    std::uint8_t shard_ = 0;
+    incident_fn incident_;
+};
+
+}  // namespace l4span::obs

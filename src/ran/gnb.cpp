@@ -76,10 +76,23 @@ drb_id_t gnb::add_drb(rnti_t ue, rlc_config cfg)
         if (ue_ctx* u = try_ue(rnti))
             if (drb_ctx* dc = try_drb(*u, id)) dc->rx->skip(sn, now);
         if (hook_) hook_->on_dl_discard(rnti, id, sn, now);
+        if (tracer_)
+            tracer_->emit(now, obs::point::rlc_discard, obs::reason::queue_overflow,
+                          (static_cast<std::uint32_t>(rnti) << 8) | id, sn);
     });
 
     // UE-side in-order delivery up the stack.
     rx->set_deliver_handler([this, rnti, id](net::packet pkt, sim::tick now) {
+        if (tracer_) {
+            tracer_->emit(now, obs::point::rlc_deliver, obs::reason::none,
+                          (static_cast<std::uint32_t>(rnti) << 8) | id,
+                          (pkt.flow_id << 32) | (pkt.pkt_id & 0xffffffffull),
+                          pkt.payload_bytes);
+            if (tracer_->wants_flow(pkt.flow_id))
+                tracer_->emit(now, obs::point::lifecycle, obs::reason::none,
+                              (static_cast<std::uint32_t>(rnti) << 8) | id,
+                              pkt.pkt_id, pkt.payload_bytes);
+        }
         if (on_deliver_) on_deliver_(rnti, id, std::move(pkt), now);
     });
     // RLC ACK: UE -> DU status report rides the next UL opportunity.
@@ -200,6 +213,10 @@ void gnb::declare_rlf(ue_ctx& u)
 {
     if (u.rlf_declared) return;
     u.rlf_declared = true;
+    if (tracer_)
+        tracer_->emit(loop_.now(), obs::point::rlf_declared, obs::reason::none,
+                      static_cast<std::uint32_t>(u.rnti) << 8,
+                      static_cast<std::uint64_t>(u.harq_fail_streak));
     if (u.rlf_timer_id) {
         loop_.cancel(u.rlf_timer_id);
         u.rlf_timer_id = 0;
@@ -255,13 +272,35 @@ void gnb::deliver_downlink(net::packet pkt, rnti_t ue, qfi_t qfi)
     drb_ctx& d = find_drb(u, drb_id);
     const sim::tick now = loop_.now();
     pkt.ran_ingress = now;
+    const std::uint32_t bearer = (static_cast<std::uint32_t>(ue) << 8) |
+                                 static_cast<std::uint32_t>(drb_id);
+    if (tracer_)
+        tracer_->emit(now, obs::point::sdap_ingress, obs::reason::none, bearer,
+                      pkt.flow_id, pkt.pkt_id);
 
     // Admission check before PDCP SN assignment keeps the SN space hole-free
     // (mirrors PDCP discarding when the RLC SDU queue is full).
-    if (!d.tx->has_room()) return;
+    if (!d.tx->has_room()) {
+        if (tracer_)
+            tracer_->emit(now, obs::point::rlc_discard, obs::reason::rlc_full,
+                          bearer, pkt.flow_id, pkt.pkt_id);
+        return;
+    }
 
     const pdcp_sn_t sn = d.pdcp.next_sn();
-    if (hook_ && !hook_->on_dl_packet(pkt, ue, drb_id, sn, now)) return;  // drop feedback
+    if (hook_ && !hook_->on_dl_packet(pkt, ue, drb_id, sn, now)) {  // drop feedback
+        if (tracer_)
+            tracer_->emit(now, obs::point::rlc_discard, obs::reason::hook_drop,
+                          bearer, pkt.flow_id, pkt.pkt_id);
+        return;
+    }
+    if (tracer_) {
+        tracer_->emit(now, obs::point::rlc_enqueue, obs::reason::none, bearer, sn,
+                      (pkt.flow_id << 32) | (pkt.pkt_id & 0xffffffffull));
+        if (tracer_->wants_flow(pkt.flow_id))
+            tracer_->emit(now, obs::point::lifecycle, obs::reason::none, bearer,
+                          pkt.pkt_id, sn);
+    }
     d.tx->enqueue(d.pdcp.wrap(std::move(pkt), now), now);
 }
 
@@ -275,6 +314,9 @@ void gnb::send_uplink(rnti_t ue, net::packet pkt)
     if (!up) return;  // detached mid-handover: the uplink packet is lost
     ue_ctx& u = *up;
     if (u.in_outage) return;  // radio blackout: the uplink is dead too
+    if (tracer_)
+        tracer_->emit(loop_.now(), obs::point::ul_ingress, obs::reason::none,
+                      static_cast<std::uint32_t>(ue) << 8, pkt.flow_id, pkt.pkt_id);
     const sim::tick period = cfg_.mac.slot * cfg_.mac.tdd_period_slots;
     const sim::tick wait = period - (loop_.now() % period);
     const sim::tick jitter =
@@ -422,6 +464,21 @@ void gnb::on_slot()
 void gnb::transmit_tb(ue_ctx& ue, drb_ctx& drb, std::vector<tb_chunk> chunks,
                       std::uint32_t bytes, int prbs, int attempt)
 {
+    if (tracer_) {
+        const std::uint32_t bearer = (static_cast<std::uint32_t>(ue.rnti) << 8) |
+                                     static_cast<std::uint32_t>(drb.id);
+        const sim::tick now = loop_.now();
+        for (const auto& c : chunks) {
+            tracer_->emit(now, obs::point::mac_tx,
+                          c.is_retx ? obs::reason::harq_retx : obs::reason::none,
+                          bearer, c.sn, c.bytes);
+            // Lifecycle mode: the final chunk carries the SDU's pool handle,
+            // the stable identity of the packet across RLC/HARQ hops.
+            if (c.pkt && tracer_->wants_flow(pool_.at(c.pkt).flow_id))
+                tracer_->emit(now, obs::point::lifecycle, obs::reason::none,
+                              bearer, pool_.at(c.pkt).pkt_id, c.pkt.slot);
+        }
+    }
     harq_tb tb;
     tb.ue = ue.rnti;
     tb.drb = drb.id;
@@ -479,6 +536,17 @@ void gnb::conclude_tb(harq_tb tb)
             tb.attempt == 1 ? cfg_.mac.initial_bler : cfg_.mac.retx_bler;
         decoded = !rng_.bernoulli(bler);
         if (decoded) u->harq_fail_streak = 0;
+    }
+    if (tracer_) {
+        obs::reason r = obs::reason::harq_ok;
+        if (!decoded)
+            r = u->in_outage                     ? obs::reason::outage
+                : tb.attempt >= cfg_.mac.max_harq_tx ? obs::reason::harq_fail
+                                                     : obs::reason::harq_retx;
+        tracer_->emit(loop_.now(), obs::point::harq_conclude, r,
+                      (static_cast<std::uint32_t>(tb.ue) << 8) |
+                          static_cast<std::uint32_t>(tb.drb),
+                      static_cast<std::uint64_t>(tb.attempt), tb.bytes);
     }
     if (decoded) {
         // Decoded: the UE's RLC sees the chunks after the over-the-air delay.

@@ -12,6 +12,7 @@
 #include "chan/mcs.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
+#include "obs/trace.h"
 #include "ran/cu_hook.h"
 #include "ran/mac.h"
 #include "ran/pdcp.h"
@@ -119,6 +120,10 @@ public:
     void set_uplink_handler(uplink_handler h) { on_uplink_ = std::move(h); }
     void set_txlog_handler(txlog_handler h) { on_txlog_ = std::move(h); }
     void set_linklog_handler(linklog_handler h) { on_linklog_ = std::move(h); }
+    // Layer-boundary trace points (SDAP ingress, RLC enqueue/deliver/discard,
+    // MAC TB transmission, HARQ conclusions, RLF). nullptr (the default)
+    // disables tracing at the cost of one predictable branch per site.
+    void set_tracer(obs::tracer* t) { tracer_ = t; }
 
     // Starts the slot clock. Call once after all UEs are added.
     void start();
@@ -216,6 +221,7 @@ private:
     // detach), not a hash map — try_ue is one bounds check and a load.
     std::vector<ue_ctx*> rnti_slots_;
     cu_hook* hook_ = nullptr;
+    obs::tracer* tracer_ = nullptr;
     deliver_handler on_deliver_;
     uplink_handler on_uplink_;
     rlf_handler on_rlf_;

@@ -146,7 +146,8 @@ sim::tick flow_endpoints::tcp_finish_time() const
 flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
                                    int handle, int ue_addr,
                                    std::function<void(net::packet)> dl_send,
-                                   std::function<void(net::packet)> ul_send)
+                                   std::function<void(net::packet)> ul_send,
+                                   obs::tracer* tracer)
 {
     flow_endpoints ep;
     ep.is_media = is_media_cca(spec.cca);
@@ -193,6 +194,7 @@ flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
         auto cc = transport::make_cc(quic_cc_of(spec.cca), spec.mss);
         ep.qsnd = std::make_unique<transport::quic_sender>(loop, qcfg, std::move(cc),
                                                            std::move(dl_send));
+        ep.qsnd->set_tracer(tracer);
         ep.qrcv = std::make_unique<transport::quic_receiver>(loop, qcfg,
                                                              std::move(ul_send));
         transport::quic_sender* snd = ep.qsnd.get();
@@ -227,6 +229,7 @@ flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
         const bool accecn = cc->uses_accecn();
         ep.snd = std::make_unique<transport::tcp_sender>(loop, tcfg, std::move(cc),
                                                          std::move(dl_send));
+        ep.snd->set_tracer(tracer);
         ep.rcv = std::make_unique<transport::tcp_receiver>(loop, tcfg, accecn,
                                                            std::move(ul_send));
         transport::tcp_sender* snd = ep.snd.get();
@@ -346,6 +349,29 @@ ran::drb_id_t cell::map_qos_flow(ran::rnti_t ue, ran::qfi_t qfi, bool l4s_class)
     const ran::drb_id_t drb = l4s_class ? r.default_drb : r.classic_drb;
     gnb_->map_qos_flow(ue, qfi, drb);
     return drb;
+}
+
+void cell::attach_obs(obs::tracer* tr, obs::registry* reg)
+{
+    gnb_->set_tracer(tr);
+    if (l4span_) l4span_->set_tracer(tr);
+    if (!reg) return;
+    const std::string p = "cell" + std::to_string(index_) + ".";
+    reg->add_counter(p + "gnb.slots", [this] { return gnb_->slots_elapsed(); });
+    reg->add_gauge(p + "gnb.active_ues", [this] {
+        return static_cast<double>(gnb_->active_ues());
+    });
+    if (l4span_) {
+        core::l4span* l4s = l4span_.get();
+        reg->add_counter(p + "l4span.marks", [l4s] { return l4s->marks(); });
+        reg->add_counter(p + "l4span.drops", [l4s] { return l4s->drops(); });
+        reg->add_counter(p + "l4span.dl_events", [l4s] { return l4s->dl_events(); });
+        reg->add_counter(p + "l4span.ul_events", [l4s] { return l4s->ul_events(); });
+        reg->add_counter(p + "l4span.feedback_events",
+                         [l4s] { return l4s->feedback_events(); });
+        l4s->set_sojourn_histogram(reg->add_histogram(
+            p + "l4span.sojourn_ms", {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}));
+    }
 }
 
 void cell::start()

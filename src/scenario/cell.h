@@ -16,6 +16,7 @@
 #include "chan/trace_channel.h"
 #include "core/l4span.h"
 #include "media/frame_source.h"
+#include "obs/hub.h"
 #include "media/media.h"
 #include "ran/gnb.h"
 #include "scenario/baselines.h"
@@ -86,6 +87,15 @@ struct cell_spec {
     // lookup + append per transport block on the per-slot hot path, and
     // grows without bound over a run.
     bool record_tx_log = false;
+    // Observability (src/obs): with obs.enabled the harness builds an
+    // obs::hub (one shard per cell), wires every layer's tracer, samples
+    // metric snapshots on the spec's cadence and arms the fault flight
+    // recorder. Off by default: the only residue of the disabled state is
+    // one null-pointer branch per trace site, and an enabled run's
+    // simulated behavior stays byte-identical (tracing never draws RNG or
+    // schedules sim-visible events). Consumed by cell_scenario and
+    // scenario::topology.
+    obs::config obs;
 };
 
 struct flow_spec {
@@ -166,11 +176,14 @@ struct flow_endpoints {
 };
 
 // Builds the endpoints for `spec` and schedules their start/stop events on
-// `loop`. `handle` and `ue_addr` synthesize the unique five-tuple.
+// `loop`. `handle` and `ue_addr` synthesize the unique five-tuple. `tracer`
+// (optional) reaches the sender's congestion-reaction trace points; it must
+// belong to the shard that owns `loop`.
 flow_endpoints make_flow_endpoints(sim::event_loop& loop, const flow_spec& spec,
                                    int handle, int ue_addr,
                                    std::function<void(net::packet)> dl_send,
-                                   std::function<void(net::packet)> ul_send);
+                                   std::function<void(net::packet)> ul_send,
+                                   obs::tracer* tracer = nullptr);
 
 // Goodput over the flow's active period — shared by every harness so the
 // single-cell and multi-cell metric definitions cannot diverge.
@@ -233,6 +246,12 @@ public:
     // --- instrumentation ---
     ran::gnb& gnb() { return *gnb_; }
     core::l4span* l4span_layer() { return l4span_.get(); }
+    // Wires the cell into the observability subsystem: the tracer reaches
+    // the gNB's layer-boundary trace points and the CU hook's decision
+    // points; the registry (optional) gains cell-prefixed counters for the
+    // gNB and the L4Span entity plus the predicted-sojourn histogram. Call
+    // before start(); both pointers are non-owning and may be null.
+    void attach_obs(obs::tracer* tr, obs::registry* reg);
     const stats::sample_set& rlc_queue_sdus(ran::rnti_t ue) const;
     const stats::value_series& rlc_queue_series(ran::rnti_t ue) const;
     // Requires cell_spec.record_tx_log (throws std::logic_error otherwise —

@@ -49,6 +49,13 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
 
     cell_ = std::make_unique<scenario::cell>(loop_, spec_);
 
+    obs::tracer* tr = nullptr;
+    if (spec_.obs.enabled) {
+        hub_ = std::make_unique<obs::hub>(1, spec_.obs);
+        tr = &hub_->shard_tracer(0);
+        cell_->attach_obs(tr, &hub_->shard_registry(0));
+    }
+
     cell_->set_deliver_handler(
         [this](ran::rnti_t, ran::drb_id_t, net::packet pkt, sim::tick) {
             const std::size_t f = pkt.flow_id;
@@ -66,10 +73,14 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
         impair_ul_ = std::make_unique<topo::path_impairment>(
             loop_, spec_.impair_ul,
             topo::impairment_seed(spec_.seed, /*lane=*/0, true));
-    if (impair_dl_)
+    if (impair_dl_) {
         impair_dl_->set_deliver([this](net::packet pkt) { downlink_arrival(std::move(pkt)); });
-    if (impair_ul_)
+        impair_dl_->set_tracer(tr, /*stage=*/0);
+    }
+    if (impair_ul_) {
         impair_ul_->set_deliver([this](net::packet pkt) { uplink_arrival(std::move(pkt)); });
+        impair_ul_->set_tracer(tr, /*stage=*/1);
+    }
 
     // Uplink return path: RAN -> [uplink bottleneck] -> [uplink impairment]
     // -> per-flow reverse wired hop back to the sender. The bottleneck sits
@@ -78,6 +89,7 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
     if (spec_.ul_bottleneck_bps > 0.0) {
         ul_bottleneck_ = std::make_unique<topo::wired_link>(
             loop_, spec_.ul_bottleneck_bps, sim::from_ms(1));
+        ul_bottleneck_->queue().set_tracer(tr, /*id=*/1);
         ul_bottleneck_->set_deliver([this](net::packet pkt) {
             if (impair_ul_) impair_ul_->send(std::move(pkt));
             else uplink_arrival(std::move(pkt));
@@ -93,6 +105,7 @@ cell_scenario::cell_scenario(cell_spec spec) : spec_(std::move(spec))
         bottleneck_ = std::make_unique<topo::wired_link>(
             loop_, spec_.bottleneck_bps, sim::from_ms(1),
             make_bottleneck_queue(spec_));
+        bottleneck_->queue().set_tracer(tr, /*id=*/0);
         // The downlink stage sits between the core bottleneck and the RAN —
         // the only placement where bleaching can erase the core AQM's CE
         // marks before they reach the UE.
@@ -185,7 +198,8 @@ int cell_scenario::add_flow(flow_spec fspec)
     };
 
     f->ep = make_flow_endpoints(loop_, fspec, handle, fspec.ue, std::move(dl_send),
-                                std::move(ul_send));
+                                std::move(ul_send),
+                                hub_ ? &hub_->shard_tracer(0) : nullptr);
     flows_.push_back(std::move(f));
     return handle;
 }
@@ -193,8 +207,10 @@ int cell_scenario::add_flow(flow_spec fspec)
 void cell_scenario::run(sim::tick duration)
 {
     duration_ = duration;
+    if (hub_) hub_->start_sampling(loop_, 0);
     cell_->start();
     loop_.run_until(duration);
+    if (hub_) hub_->finish(duration);
 }
 
 cell_scenario::flow_rt& cell_scenario::flow_at(int flow) const

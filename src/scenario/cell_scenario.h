@@ -82,6 +82,12 @@ public:
     // is 0 and the return path is latency-only).
     const topo::wired_link* ul_bottleneck() const { return ul_bottleneck_.get(); }
 
+    // --- observability ---
+    // The hub (nullptr unless cell_spec.obs.enabled). run() takes the final
+    // snapshot and writes the JSONL artifacts when obs.out_prefix is set;
+    // the in-memory views stay readable either way.
+    obs::hub* obs_hub() { return hub_.get(); }
+
 private:
     struct flow_rt {
         flow_spec spec;
@@ -98,6 +104,7 @@ private:
 
     cell_spec spec_;
     sim::event_loop loop_;
+    std::unique_ptr<obs::hub> hub_;
     std::unique_ptr<scenario::cell> cell_;
     std::unique_ptr<topo::wired_link> bottleneck_;
     std::unique_ptr<topo::wired_link> ul_bottleneck_;

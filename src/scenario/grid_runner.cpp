@@ -77,10 +77,15 @@ bench_args parse_bench_args(int argc, char** argv)
             args.trace_dir = a.substr(12);
         } else if (a == "--impair-noop") {
             args.impair_noop = true;
+        } else if (a == "--obs-out" && i + 1 < argc) {
+            args.obs_out = argv[++i];
+        } else if (a.rfind("--obs-out=", 0) == 0) {
+            args.obs_out = a.substr(10);
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--quick] [--json PATH] "
-                         "[--trace-dir DIR] [--impair-noop]\n"
+                         "[--trace-dir DIR] [--impair-noop] "
+                         "[--obs-out PREFIX]\n"
                          "unknown argument: %s\n",
                          argv[0], a.c_str());
             std::exit(2);

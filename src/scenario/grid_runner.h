@@ -66,10 +66,15 @@ struct bench_args {
     bool impair_noop = false;  // --impair-noop: mount all-off impairment
                                // stages (pass-through fast-path check; the
                                // output must be byte-identical)
+    std::string obs_out;     // --obs-out PREFIX: enable the obs:: telemetry
+                             // hub and write PREFIX.metrics.jsonl /
+                             // PREFIX.trace.jsonl (+ incident dumps). The
+                             // simulated results must be byte-identical
+                             // with or without it.
 };
 
 // Parses --jobs N / --quick / --json PATH / --trace-dir DIR /
-// --impair-noop (and -jN).
+// --impair-noop / --obs-out PREFIX (and -jN).
 // Unknown arguments are rejected with a usage message on stderr and
 // exit(2) so a typo can't silently run the full multi-minute grid.
 bench_args parse_bench_args(int argc, char** argv);

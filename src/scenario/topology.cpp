@@ -66,6 +66,12 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
         static_cast<std::size_t>(spec_.num_cells), slot_aligned(min_latency, slot),
         spec_.jobs);
 
+    // One observability shard per cell: each tracer/registry pair is only
+    // ever written from its own shard's loop thread.
+    if (spec_.cell.obs.enabled)
+        hub_ = std::make_unique<obs::hub>(
+            static_cast<std::size_t>(spec_.num_cells), spec_.cell.obs);
+
     for (int c = 0; c < spec_.num_cells; ++c) {
         cell_spec cs = spec_.cell;
         cs.num_ues = spec_.ues_per_cell;
@@ -79,6 +85,8 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
                 topo::impairment_seed(cs.seed, /*lane=*/0, false)));
             impair_dl_.back()->set_deliver(
                 [this](net::packet pkt) { forward_downlink(std::move(pkt)); });
+            impair_dl_.back()->set_tracer(shard_tr(static_cast<std::size_t>(c)),
+                                          /*stage=*/0);
         }
         if (spec_.cell.impair_ul.wants_stage()) {
             impair_ul_.push_back(std::make_unique<topo::path_impairment>(
@@ -86,6 +94,8 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
                 topo::impairment_seed(cs.seed, /*lane=*/0, true)));
             impair_ul_.back()->set_deliver(
                 [this](net::packet pkt) { uplink_arrival(std::move(pkt)); });
+            impair_ul_.back()->set_tracer(shard_tr(static_cast<std::size_t>(c)),
+                                          /*stage=*/1);
         }
         if (spec_.wired_bps > 0.0) {
             // A real (rate-limited, FIFO-buffered) server->core hop; the
@@ -104,8 +114,15 @@ topology::topology(topology_spec spec) : spec_(std::move(spec))
                                     });
             });
         }
+        if (spec_.wired_bps > 0.0 && hub_)
+            wired_dl_.back()->queue().set_tracer(
+                shard_tr(static_cast<std::size_t>(c)), /*id=*/0);
         cells_.push_back(std::make_unique<scenario::cell>(
             shards_->loop(static_cast<std::size_t>(c)), std::move(cs), c));
+        if (hub_)
+            cells_.back()->attach_obs(
+                shard_tr(static_cast<std::size_t>(c)),
+                &hub_->shard_registry(static_cast<std::size_t>(c)));
     }
 
     cell_down_.assign(static_cast<std::size_t>(spec_.num_cells),
@@ -202,7 +219,8 @@ int topology::add_flow(flow_spec fspec)
     };
 
     f->ep = make_flow_endpoints(shards_->loop(static_cast<std::size_t>(u.home)), fspec,
-                                handle, fspec.ue, std::move(dl_send), std::move(ul_send));
+                                handle, fspec.ue, std::move(dl_send), std::move(ul_send),
+                                shard_tr(static_cast<std::size_t>(u.home)));
     flows_.push_back(std::move(f));
     return handle;
 }
@@ -308,6 +326,21 @@ void topology::apply_faults(const topo::fault_plan& plan)
     faults_applied_ = true;
     injector_ = std::make_unique<sim::fault_injector>(topo::k_num_fault_classes);
 
+    // Observe hook for one armed event: runs on the firing shard's thread
+    // right before the fault action, emitting the fault_fire trace event and
+    // requesting a flight-recorder incident dump. Empty (and free) with
+    // observability off — sim::fault_injector never learns about obs::.
+    auto observe = [this](std::size_t shard, obs::reason r, std::uint64_t b,
+                          std::uint64_t c) -> sim::callback {
+        obs::tracer* tr = shard_tr(shard);
+        if (!tr) return {};
+        sim::event_loop* lp = &shards_->loop(shard);
+        return [tr, lp, r, b, c] {
+            tr->emit(lp->now(), obs::point::fault_fire, r, 0, b, c);
+            tr->request_incident(lp->now(), "fault");
+        };
+    };
+
     for (const auto& ev : plan.schedule()) {
         const std::size_t cls = static_cast<std::size_t>(ev.cls);
         switch (ev.cls) {
@@ -315,14 +348,20 @@ void topology::apply_faults(const topo::fault_plan& plan)
             const std::size_t home =
                 static_cast<std::size_t>(ues_.at(static_cast<std::size_t>(ev.ue))->home);
             injector_->arm(shards_->loop(home), ev.when, cls,
-                           [this, ue = ev.ue, d = ev.duration] { inject_rlf(ue, d); });
+                           [this, ue = ev.ue, d = ev.duration] { inject_rlf(ue, d); },
+                           observe(home, obs::reason::fault_rlf,
+                                   static_cast<std::uint64_t>(ev.ue),
+                                   static_cast<std::uint64_t>(ev.duration)));
             break;
         }
         case topo::fault_class::handover_failure: {
             const std::size_t home =
                 static_cast<std::size_t>(ues_.at(static_cast<std::size_t>(ev.ue))->home);
             injector_->arm(shards_->loop(home), ev.when, cls,
-                           [this, ue = ev.ue, m = ev.mode] { inject_ho_failure(ue, m); });
+                           [this, ue = ev.ue, m = ev.mode] { inject_ho_failure(ue, m); },
+                           observe(home, obs::reason::fault_ho_failure,
+                                   static_cast<std::uint64_t>(ev.ue),
+                                   static_cast<std::uint64_t>(ev.mode)));
             break;
         }
         case topo::fault_class::cell_outage: {
@@ -338,7 +377,11 @@ void topology::apply_faults(const topo::fault_plan& plan)
                 };
                 if (s == c)
                     injector_->arm(shards_->loop(static_cast<std::size_t>(s)),
-                                   ev.when, cls, std::move(down));
+                                   ev.when, cls, std::move(down),
+                                   observe(static_cast<std::size_t>(s),
+                                           obs::reason::fault_cell_outage,
+                                           static_cast<std::uint64_t>(c),
+                                           static_cast<std::uint64_t>(ev.duration)));
                 else
                     shards_->loop(static_cast<std::size_t>(s))
                         .schedule_at(ev.when, std::move(down));
@@ -346,6 +389,16 @@ void topology::apply_faults(const topo::fault_plan& plan)
                     .schedule_at(ev.when + ev.duration, [this, s, c] {
                         cell_down_[static_cast<std::size_t>(s)]
                                   [static_cast<std::size_t>(c)] = 0;
+                        // One restore event, on the owning shard only.
+                        if (s == c) {
+                            if (obs::tracer* tr =
+                                    shard_tr(static_cast<std::size_t>(s)))
+                                tr->emit(shards_->loop(static_cast<std::size_t>(s))
+                                             .now(),
+                                         obs::point::cell_restore,
+                                         obs::reason::none, 0,
+                                         static_cast<std::uint64_t>(c));
+                        }
                         repatriate_cell(s, c);
                     });
             }
@@ -354,7 +407,10 @@ void topology::apply_faults(const topo::fault_plan& plan)
         case topo::fault_class::link_flap: {
             const std::size_t c = static_cast<std::size_t>(ev.cell);
             injector_->arm(shards_->loop(c), ev.when, cls,
-                           [this, c] { wired_dl_[c]->set_rate(0.0); });
+                           [this, c] { wired_dl_[c]->set_rate(0.0); },
+                           observe(c, obs::reason::fault_link_flap,
+                                   static_cast<std::uint64_t>(ev.cell),
+                                   static_cast<std::uint64_t>(ev.duration)));
             // The plan's per-cell flap stream never overlaps itself, so
             // this recovery cannot re-enable a later flap's stall.
             shards_->loop(c).schedule_at(ev.when + ev.duration, [this, c] {
@@ -367,7 +423,10 @@ void topology::apply_faults(const topo::fault_plan& plan)
             topo::path_impairment* st =
                 ev.uplink ? impair_ul_[c].get() : impair_dl_[c].get();
             injector_->arm(shards_->loop(c), ev.when, cls,
-                           [st, spec = ev.impair] { st->set_spec(spec); });
+                           [st, spec = ev.impair] { st->set_spec(spec); },
+                           observe(c, obs::reason::fault_impair_swap,
+                                   static_cast<std::uint64_t>(ev.cell),
+                                   ev.uplink ? 1 : 0));
             break;
         }
         }
@@ -538,6 +597,12 @@ void topology::begin_handover(int ue, int target)
     const std::size_t src_shard = static_cast<std::size_t>(u.serving);
     const std::size_t tgt_shard = static_cast<std::size_t>(target);
     const sim::tick now = shards_->loop(home_shard).now();
+    if (obs::tracer* tr = shard_tr(home_shard))
+        tr->emit(now, obs::point::ho_start,
+                 fail ? obs::reason::ho_sabotaged : obs::reason::none,
+                 static_cast<std::uint32_t>(ue),
+                 static_cast<std::uint64_t>(src_cell),
+                 static_cast<std::uint64_t>(target));
 
     // Leg 1 — handover command reaches the source cell, which exports the
     // UE context (SN status transfer + data forwarding + hook state). By
@@ -634,6 +699,13 @@ void topology::finish_path_switch(int ue, int target, ran::rnti_t new_rnti,
     case switch_kind::rollback: ++ho_rollbacks_; break;
     }
     const sim::tick now = shards_->loop(static_cast<std::size_t>(u.home)).now();
+    if (obs::tracer* tr = shard_tr(static_cast<std::size_t>(u.home)))
+        tr->emit(now, obs::point::ho_complete,
+                 kind == switch_kind::reestablish ? obs::reason::reestablish
+                 : kind == switch_kind::rollback  ? obs::reason::rollback
+                                                  : obs::reason::none,
+                 static_cast<std::uint32_t>(ue),
+                 static_cast<std::uint64_t>(target), new_rnti);
     if (u.blackout_start >= 0) {
         u.recovery_samples.push_back(sim::to_ms(now - u.blackout_start));
         u.blackout_start = -1;
@@ -662,8 +734,12 @@ void topology::run(sim::tick duration)
 {
     duration_ = duration;
     ran_ = true;
+    if (hub_)
+        for (std::size_t s = 0; s < static_cast<std::size_t>(num_cells()); ++s)
+            hub_->start_sampling(shards_->loop(s), s);
     for (auto& c : cells_) c->start();
     shards_->run_until(duration);
+    if (hub_) hub_->finish(duration);
 }
 
 topology::flow_rt& topology::flow_at(int flow) const

@@ -140,6 +140,13 @@ public:
     // between runs; other shards flip their copies at the same tick.
     bool cell_is_down(int cell) const;
 
+    // --- observability ---
+    // The hub (nullptr unless spec.cell.obs.enabled): one tracer + registry
+    // shard per cell, so per-shard buffers are single-writer and the merged
+    // views are byte-identical for any `jobs`. run() takes the final
+    // snapshots and writes the JSONL artifacts when obs.out_prefix is set.
+    obs::hub* obs_hub() { return hub_.get(); }
+
 private:
     struct ue_entry {
         int home = 0;     // immutable; also the home shard index
@@ -198,8 +205,15 @@ private:
 
     flow_rt& flow_at(int flow) const;
     const ue_entry& ue_at(int ue) const;
+    // Shard `s`'s tracer, or nullptr with observability off — the one
+    // branch every topology-level trace site pays.
+    obs::tracer* shard_tr(std::size_t s)
+    {
+        return hub_ ? &hub_->shard_tracer(s) : nullptr;
+    }
 
     topology_spec spec_;
+    std::unique_ptr<obs::hub> hub_;
     std::unique_ptr<sim::shard_group> shards_;
     std::vector<std::unique_ptr<scenario::cell>> cells_;
     // One stage pair per home shard (empty vectors when the spec mounts

@@ -13,14 +13,16 @@ fault_injector::fault_injector(std::size_t num_classes)
 }
 
 void fault_injector::arm(event_loop& loop, tick when, std::size_t cls,
-                         callback fire)
+                         callback fire, callback observe)
 {
     if (cls >= armed_.size())
         throw std::out_of_range("fault_injector: fault class out of range");
     ++armed_[cls];
     auto* counter = &injected_[cls];
-    loop.schedule_at(when, [counter, fire = std::move(fire)]() mutable {
+    loop.schedule_at(when, [counter, fire = std::move(fire),
+                            observe = std::move(observe)]() mutable {
         counter->fetch_add(1, std::memory_order_relaxed);
+        if (observe) observe();
         fire();
     });
 }

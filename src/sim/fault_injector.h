@@ -32,7 +32,12 @@ public:
     // `loop`. Arm everything before the loops run; each event then fires on
     // the loop it was armed on, so no state is ever touched cross-shard and
     // sharded runs stay byte-identical for any --jobs.
-    void arm(event_loop& loop, tick when, std::size_t cls, callback fire);
+    //
+    // `observe`, when set, runs on the firing shard's thread immediately
+    // before `fire` — the hook the observability layer uses to trace the
+    // injection and snapshot a flight record without sim/ depending on obs/.
+    void arm(event_loop& loop, tick when, std::size_t cls, callback fire,
+             callback observe = {});
 
     std::size_t num_classes() const { return armed_.size(); }
     std::uint64_t armed(std::size_t cls) const;

@@ -25,6 +25,41 @@ std::string json::dump(int indent) const
     return out;
 }
 
+std::string json::dump_compact() const
+{
+    std::string out;
+    write_compact(out);
+    return out;
+}
+
+void json::write_compact(std::string& out) const
+{
+    switch (kind_) {
+    case kind::null: out += "null"; break;
+    case kind::boolean: out += bool_ ? "true" : "false"; break;
+    case kind::number: write_number(out, num_); break;
+    case kind::string: write_escaped(out, str_); break;
+    case kind::object:
+        out.push_back('{');
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            if (i) out.push_back(',');
+            write_escaped(out, members_[i].first);
+            out.push_back(':');
+            members_[i].second.write_compact(out);
+        }
+        out.push_back('}');
+        break;
+    case kind::array:
+        out.push_back('[');
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            if (i) out.push_back(',');
+            elements_[i].write_compact(out);
+        }
+        out.push_back(']');
+        break;
+    }
+}
+
 void json::write_escaped(std::string& out, const std::string& s)
 {
     out.push_back('"');

@@ -32,11 +32,15 @@ public:
     json& push(json value);
 
     std::string dump(int indent = 2) const;
+    // Single-line serialization (no trailing newline) for JSONL streams
+    // (the obs:: metric snapshots and trace dumps are one value per line).
+    std::string dump_compact() const;
 
 private:
     enum class kind : std::uint8_t { null, boolean, number, string, object, array };
 
     void write(std::string& out, int indent, int depth) const;
+    void write_compact(std::string& out) const;
     static void write_escaped(std::string& out, const std::string& s);
     static void write_number(std::string& out, double v);
 

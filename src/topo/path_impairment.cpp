@@ -110,25 +110,30 @@ void path_impairment::send(net::packet p)
         rng_.bernoulli(act->remark_ect1)) {
         p.ecn_field = net::ecn::ect0;
         ++st_.remarked;
+        trace(p, obs::reason::remark);
     }
     if (p.ecn_field == net::ecn::ce && act->bleach_ce > 0.0 &&
         rng_.bernoulli(act->bleach_ce)) {
         p.ecn_field = net::ecn::ect0;
         ++st_.bleached;
+        trace(p, obs::reason::bleach);
     }
     if (p.ecn_field != net::ecn::not_ect && act->strip_ect > 0.0 &&
         rng_.bernoulli(act->strip_ect)) {
         p.ecn_field = net::ecn::not_ect;
         ++st_.stripped;
+        trace(p, obs::reason::strip);
     }
 
     if (lose_next(*act, *burst)) {
         ++st_.lost;
+        trace(p, obs::reason::gilbert_loss);
         return;
     }
 
     if (act->reorder > 0.0 && rng_.bernoulli(act->reorder)) {
         ++st_.reordered;
+        trace(p, obs::reason::reorder);
         const std::uint64_t id = ++next_hold_id_;
         held_.push_back({std::move(p), act->reorder_gap, id});
         loop_.schedule_after(act->reorder_hold_max,
@@ -139,6 +144,7 @@ void path_impairment::send(net::packet p)
     const bool dup = act->duplicate > 0.0 && rng_.bernoulli(act->duplicate);
     if (dup) {
         ++st_.duplicated;
+        trace(p, obs::reason::duplicate);
         net::packet copy = p;
         pass(std::move(p));
         pass(std::move(copy));
@@ -182,6 +188,14 @@ void path_impairment::deliver(net::packet p)
 {
     ++st_.delivered;
     if (deliver_) deliver_(std::move(p));
+}
+
+void path_impairment::trace(const net::packet& p, obs::reason r)
+{
+    if (!tracer_) return;
+    tracer_->emit(loop_.now(), obs::point::impair, r, stage_id_,
+                  (p.flow_id << 32) | (p.pkt_id & 0xffffffffull),
+                  p.payload_bytes);
 }
 
 }  // namespace l4span::topo

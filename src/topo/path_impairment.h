@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "sim/rng.h"
 
@@ -144,6 +145,14 @@ public:
 
     const impairment_spec& spec() const { return spec_; }
     const impairment_stats& stats() const { return st_; }
+    // Reason-coded `impair` trace events at every transform that fires
+    // (remark/bleach/strip/loss/reorder/duplicate). `stage` labels this
+    // stage in the merged trace (the scenarios use (lane << 1) | uplink).
+    void set_tracer(obs::tracer* t, std::uint32_t stage)
+    {
+        tracer_ = t;
+        stage_id_ = stage;
+    }
     // Packets currently in the reorder hold buffer (conservation:
     // input + duplicated == delivered + lost + held).
     std::size_t held_packets() const { return held_.size(); }
@@ -159,12 +168,15 @@ private:
     void pass(net::packet p);            // deliver + advance the hold buffer
     void deliver(net::packet p);
     void release_by_id(std::uint64_t id);
+    void trace(const net::packet& p, obs::reason r);
 
     sim::event_loop& loop_;
     impairment_spec spec_;
     sim::rng rng_;
     deliver_fn deliver_;
     impairment_stats st_;
+    obs::tracer* tracer_ = nullptr;
+    std::uint32_t stage_id_ = 0;
     std::uint8_t base_burst_ = 0;            // Gilbert state, base knobs
     std::vector<std::uint8_t> policy_burst_;  // Gilbert state per flow policy
     std::vector<held_pkt> held_;

@@ -304,8 +304,12 @@ void quic_sender::process_ack(const net::quic::ack_frame& af, sim::tick now)
             ecn_confirmed_ = true;
         if (!ecn_confirmed_ && !ecn_fallback_ &&
             cc_->data_ecn() != net::ecn::not_ect &&
-            delivered_ >= 16ull * cfg_.mtu_payload)
+            delivered_ >= 16ull * cfg_.mtu_payload) {
             ecn_fallback_ = true;
+            if (tracer_)
+                tracer_->emit(now, obs::point::ecn_fallback, obs::reason::strip,
+                              0, cfg_.flow_id, delivered_);
+        }
     }
 
     s.newly_acked = static_cast<std::uint32_t>(newly_bytes);
@@ -313,7 +317,12 @@ void quic_sender::process_ack(const net::quic::ack_frame& af, sim::tick now)
     s.srtt = srtt_;
     s.in_flight = bytes_in_flight_;
     s.app_limited = retx_q_.empty() && next_sendable_stream() == streams_.end();
-    if (s.newly_acked > 0 || s.ce_fraction > 0.0) cc_->on_ack(s);
+    if (s.newly_acked > 0 || s.ce_fraction > 0.0) {
+        cc_->on_ack(s);
+        if (tracer_ && s.ce_fraction > 0.0)
+            tracer_->emit(now, obs::point::transport_ce, obs::reason::ce_accecn,
+                          0, cfg_.flow_id, cc_->cwnd());
+    }
 
     // Non-scalable senders treat any CE increment like a classic ECE echo,
     // at most once per RTT (mirrors the TCP engine's classic path).
@@ -322,6 +331,10 @@ void quic_sender::process_ack(const net::quic::ack_frame& af, sim::tick now)
             now - last_ecn_reaction_ >= std::max(srtt_, sim::from_ms(1))) {
             last_ecn_reaction_ = now;
             cc_->on_ecn(now);
+            if (tracer_)
+                tracer_->emit(now, obs::point::transport_ce,
+                              obs::reason::ce_classic, 0, cfg_.flow_id,
+                              cc_->cwnd());
         }
     }
 
@@ -373,6 +386,10 @@ void quic_sender::detect_losses(quic::pn_t largest, sim::tick now)
             // One congestion response per flight, like TCP's recovery episode.
             cc_->on_loss(now);
             recovery_until_pn_ = next_pn_;
+            if (tracer_)
+                tracer_->emit(now, obs::point::transport_loss,
+                              obs::reason::rack_loss, 0, cfg_.flow_id,
+                              cc_->cwnd());
         }
         it = unacked_.erase(it);
     }
@@ -421,7 +438,12 @@ void quic_sender::on_pto_fire()
     if (unacked_.empty()) return;
     ++pto_backoff_;
     // Persistent congestion: repeated PTOs collapse the window like an RTO.
-    if (pto_backoff_ >= 2) cc_->on_rto(loop_.now());
+    if (pto_backoff_ >= 2) {
+        cc_->on_rto(loop_.now());
+        if (tracer_)
+            tracer_->emit(loop_.now(), obs::point::transport_rto,
+                          obs::reason::rto_fire, 0, cfg_.flow_id, cc_->cwnd());
+    }
     // Probe with the oldest outstanding data under a new packet number.
     for (const auto& [pn, sp] : unacked_) {
         if (sp.stream.len > 0) {

@@ -28,6 +28,7 @@
 #include <memory>
 
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "stats/sample_set.h"
 #include "stats/timeseries.h"
@@ -83,6 +84,10 @@ public:
     std::uint32_t path_migrations() const { return path_migrations_; }
     quic::cid_t active_cid() const { return cfg_.cid_base + active_cid_index_; }
     std::uint64_t packets_sent() const { return next_pn_; }
+
+    // Congestion-reaction trace points (CE response, RACK loss, PTO
+    // collapse, ECN fallback), with the post-reaction cwnd in the payload.
+    void set_tracer(obs::tracer* t) { tracer_ = t; }
 
 private:
     struct stream_tx {
@@ -168,6 +173,7 @@ private:
     std::uint32_t retransmit_count_ = 0;
     std::uint32_t lost_packets_ = 0;
     stats::sample_set rtt_samples_;
+    obs::tracer* tracer_ = nullptr;
 };
 
 class quic_receiver {

@@ -241,6 +241,9 @@ void tcp_sender::process_ack(const net::packet& pkt)
         // Enough data delivered and not one byte of it kept its ECT mark:
         // the path strips ECN. Stop marking; loss handling is untouched.
         ecn_fallback_ = true;
+        if (tracer_)
+            tracer_->emit(now, obs::point::ecn_fallback, obs::reason::strip, 0,
+                          cfg_.flow_id, delivered_);
     }
 
     s.srtt = srtt_;
@@ -248,7 +251,12 @@ void tcp_sender::process_ack(const net::packet& pkt)
     s.ece = classic_ece;
     s.app_limited = (cfg_.flow_bytes > 0 || cfg_.app_limited) && !more_app_data();
 
-    if (s.newly_acked > 0 || s.ce_fraction > 0.0) cc_->on_ack(s);
+    if (s.newly_acked > 0 || s.ce_fraction > 0.0) {
+        cc_->on_ack(s);
+        if (tracer_ && s.ce_fraction > 0.0)
+            tracer_->emit(now, obs::point::transport_ce, obs::reason::ce_accecn,
+                          0, cfg_.flow_id, cc_->cwnd());
+    }
 
     // Classic ECN: react at most once per RTT, echo CWR.
     if (classic_ece) {
@@ -256,6 +264,10 @@ void tcp_sender::process_ack(const net::packet& pkt)
         if (last_ecn_reaction_ < 0 || now - last_ecn_reaction_ >= std::max(srtt_, sim::from_ms(1))) {
             last_ecn_reaction_ = now;
             cc_->on_ecn(now);
+            if (tracer_)
+                tracer_->emit(now, obs::point::transport_ce,
+                              obs::reason::ce_classic, 0, cfg_.flow_id,
+                              cc_->cwnd());
         }
     }
 
@@ -281,6 +293,9 @@ void tcp_sender::enter_recovery(sim::tick now)
     in_recovery_ = true;
     recovery_point_ = snd_nxt_;
     cc_->on_loss(now);
+    if (tracer_)
+        tracer_->emit(now, obs::point::transport_loss, obs::reason::dupack_loss,
+                      0, cfg_.flow_id, cc_->cwnd());
     if (!segments_.empty()) send_segment(segments_.front().seq, segments_.front().len, true);
 }
 
@@ -308,6 +323,9 @@ void tcp_sender::on_rto_fire()
     in_recovery_ = false;
     dupacks_ = 0;
     cc_->on_rto(loop_.now());
+    if (tracer_)
+        tracer_->emit(loop_.now(), obs::point::transport_rto,
+                      obs::reason::rto_fire, 0, cfg_.flow_id, cc_->cwnd());
     send_segment(segments_.front().seq, segments_.front().len, true);
 }
 

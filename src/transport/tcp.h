@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 #include "stats/sample_set.h"
 #include "stats/timeseries.h"
@@ -70,6 +71,10 @@ public:
     // ECT-stripping middlebox) and reverted to Not-ECT sending with pure
     // loss-based control. Sticky for the connection's lifetime.
     bool ecn_fallback() const { return ecn_fallback_; }
+
+    // Congestion-reaction trace points (CE response, loss recovery, RTO,
+    // ECN fallback), with the post-reaction cwnd in the payload.
+    void set_tracer(obs::tracer* t) { tracer_ = t; }
 
 private:
     struct segment {
@@ -146,6 +151,7 @@ private:
     std::uint64_t pkt_counter_ = 0;
     std::uint32_t retransmit_count_ = 0;
     stats::sample_set rtt_samples_;
+    obs::tracer* tracer_ = nullptr;
 };
 
 class tcp_receiver {
