@@ -7,8 +7,7 @@
 // {clean, bleach, remark, strip, loss, reorder, liar} x wired cross-traffic
 // {off, poisson} through a DualPi2 core bottleneck + L4Span RAN, reporting
 // per-profile OWD percentiles, goodput, retransmits, the CE-delivery ratio
-// (receiver-observed CE / CE applied by the bottleneck AQM + the CU) and how
-// many senders' ECN validation fell back to Not-ECT.
+// and how many senders' ECN validation fell back to Not-ECT.
 //
 // Placement matters: the impairment stage sits between the core bottleneck
 // and the RAN, so bleaching erases the AQM's CE marks but can never touch
@@ -16,228 +15,20 @@
 // mechanism behind L4Span's graceful degradation under bleaching, while
 // ECT-stripping demotes Prague flows to non-ECN treatment end-to-end.
 //
-// Points fan out over scenario::grid_runner and print in fixed grid order:
-// stdout and the JSON summary are byte-identical for any --jobs value.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "bench_util.h"
-#include "scenario/cell_scenario.h"
+// The grid lives in the scenario engine as the "ecn_impairment" builtin
+// (family ecn_impairment): points fan out over scenario::grid_runner and
+// print in fixed grid order, byte-identical for any --jobs value.
+// --export-scenario PATH dumps the (possibly --quick) grid as JSON.
 #include "scenario/grid_runner.h"
-#include "stats/json.h"
+#include "scenario/scenario_run.h"
 
 using namespace l4span;
-
-namespace {
-
-struct impair_profile {
-    std::string name;
-    topo::impairment_spec dl;
-    // Arm L4Span's drop-based fallback (§4.4): the only congestion signal
-    // left for flows the path stripped to Not-ECT.
-    bool drop_non_ecn = false;
-};
-
-std::vector<impair_profile> make_profiles()
-{
-    std::vector<impair_profile> out;
-    out.push_back({"clean", {}});
-    {
-        topo::impairment_spec s;
-        s.bleach_ce = 1.0;  // congestion signal erased, ECT restored
-        out.push_back({"bleach", s});
-    }
-    {
-        topo::impairment_spec s;
-        s.remark_ect1 = 1.0;  // L4S identifier erased -> classic treatment
-        out.push_back({"remark", s});
-    }
-    {
-        topo::impairment_spec s;
-        s.strip_ect = 1.0;  // path declares the flow non-ECN-capable
-        out.push_back({"strip", s});
-    }
-    {
-        // Same stripped path, but the CU sheds queue instead of letting the
-        // demoted flow sit in a seconds-deep RLC backlog — the strip rows'
-        // OWD collapse is the deployability argument for the knob.
-        topo::impairment_spec s;
-        s.strip_ect = 1.0;
-        out.push_back({"strip+drop", s, /*drop_non_ecn=*/true});
-    }
-    {
-        topo::impairment_spec s;
-        s.loss = 0.01;
-        s.loss_burst = 4.0;  // Gilbert bursts, ~1% stationary loss
-        out.push_back({"loss", s});
-    }
-    {
-        topo::impairment_spec s;
-        s.reorder = 0.02;
-        s.reorder_gap = 5;
-        out.push_back({"reorder", s});
-    }
-    {
-        // Everything at once: the worst path the traversal study observed.
-        topo::impairment_spec s;
-        s.bleach_ce = 1.0;
-        s.remark_ect1 = 1.0;
-        s.loss = 0.005;
-        s.loss_burst = 2.0;
-        s.reorder = 0.01;
-        s.duplicate = 0.005;
-        out.push_back({"liar", s});
-    }
-    return out;
-}
-
-struct grid_point {
-    std::string cca;  // flow_spec CCA names: prague, quic-prague, cubic, bbr2
-    std::string label;
-    const impair_profile* profile;
-    bool cross;
-};
-
-struct point_result {
-    stats::sample_set owd_ms;  // pooled over all flows
-    double goodput_mbps = 0.0;
-    std::uint64_t retransmits = 0;
-    std::uint64_t ce_applied = 0;    // bottleneck AQM + CU marks
-    std::uint64_t ce_delivered = 0;  // receiver-observed CE packets
-    int fallbacks = 0;               // senders that reverted to Not-ECT
-    std::uint64_t cross_packets = 0;
-};
-
-point_result run_point(const grid_point& p, int ues, sim::tick duration)
-{
-    scenario::cell_spec cell;
-    cell.num_ues = ues;
-    cell.channel = "static";
-    cell.cu = scenario::cu_mode::l4span;
-    cell.seed = 71;
-    cell.bottleneck_bps = 80e6;
-    cell.bottleneck_aqm = "dualpi2";  // a core router whose CE can be bleached
-    cell.impair_dl = p.profile->dl;
-    cell.impair_dl.force_stage = true;  // "clean" exercises the pass-through
-    cell.l4s.drop_non_ecn = p.profile->drop_non_ecn;
-    if (p.cross) {
-        topo::cross_traffic_spec bg;
-        bg.model = "poisson";
-        bg.rate_bps = 30e6;  // ~3/8 of the bottleneck as background load
-        cell.cross_traffic.push_back(bg);
-    }
-
-    scenario::cell_scenario s(cell);
-    std::vector<int> handles;
-    for (int u = 0; u < ues; ++u) {
-        scenario::flow_spec f;
-        f.cca = p.cca;
-        f.ue = u;
-        f.max_cwnd = 1536 * 1024;
-        handles.push_back(s.add_flow(f));
-    }
-    s.run(duration);
-
-    point_result r;
-    for (int h : handles) {
-        for (double v : s.owd_ms(h).raw()) r.owd_ms.add(v);
-        r.goodput_mbps += s.goodput_mbps(h);
-        r.retransmits += s.flow_retransmits(h);
-        r.ce_delivered += s.flow_ce_packets(h);
-        if (s.flow_ecn_fallback(h)) ++r.fallbacks;
-    }
-    r.ce_applied = s.bottleneck_ce_marks();
-    if (const core::l4span* l4s = s.l4span_layer()) r.ce_applied += l4s->marks();
-    r.cross_packets = s.cross_traffic_packets();
-    return r;
-}
-
-}  // namespace
 
 int main(int argc, char** argv)
 {
     const auto args = scenario::parse_bench_args(argc, argv);
-    benchutil::header(
-        "ECN path-impairment grid (bleach/strip/remark/loss/reorder)",
-        "robustness item: L4Span + Prague/CUBIC/BBRv2 when the wired path "
-        "bleaches or strips ECN (cf. \"A Fresh Look at ECN Traversal\")");
-
-    const auto profiles = make_profiles();
-    std::vector<std::pair<std::string, std::string>> ccas{
-        {"prague", "tcp-prague"},
-        {"quic-prague", "quic-prague"},
-        {"cubic", "tcp-cubic"},
-        {"bbr2", "tcp-bbr2"},
-    };
-    std::vector<const impair_profile*> selected;
-    for (const auto& pr : profiles) selected.push_back(&pr);
-    std::vector<bool> cross_opts{false, true};
-    int ues = 4;
-    sim::tick duration = sim::from_sec(5);
-    if (args.quick) {  // CI slice: 2 transports x 3 profiles, cross on
-        ccas = {{"prague", "tcp-prague"}, {"quic-prague", "quic-prague"}};
-        selected = {&profiles[0], &profiles[3], &profiles[4]};  // clean/strip/strip+drop
-        cross_opts = {true};
-        ues = 2;
-        duration = sim::from_sec(2);
-    }
-
-    std::vector<grid_point> points;
-    for (const auto& [cca, label] : ccas)
-        for (const impair_profile* pr : selected)
-            for (const bool cross : cross_opts)
-                points.push_back({cca, label, pr, cross});
-
-    scenario::grid_runner pool(args.jobs);
-    std::fprintf(stderr, "ecn_impairment: %zu grid points on %d worker(s)\n",
-                 points.size(), pool.jobs());
-    const auto results = pool.map(points.size(), [&](std::size_t i) {
-        return run_point(points[i], ues, duration);
-    });
-
-    auto summary = stats::json::object();
-    summary.set("figure", "ecn_impairment").set("quick", args.quick);
-    auto json_points = stats::json::array();
-
-    stats::table t({"cca", "impairment", "cross", "OWD ms p50/p90/p99",
-                    "sum Mbit/s", "retx", "CE deliv/applied", "fallback"});
-    for (std::size_t i = 0; i < points.size(); ++i) {
-        const grid_point& p = points[i];
-        const point_result& r = results[i];
-        char owd[96];
-        std::snprintf(owd, sizeof(owd), "%.1f/%.1f/%.1f", r.owd_ms.median(),
-                      r.owd_ms.percentile(90), r.owd_ms.percentile(99));
-        char ce[64];
-        std::snprintf(ce, sizeof(ce), "%llu/%llu",
-                      static_cast<unsigned long long>(r.ce_delivered),
-                      static_cast<unsigned long long>(r.ce_applied));
-        t.add_row({p.label, p.profile->name, p.cross ? "poisson" : "-", owd,
-                   stats::table::num(r.goodput_mbps, 1),
-                   std::to_string(r.retransmits), ce,
-                   std::to_string(r.fallbacks)});
-
-        const double ce_ratio =
-            r.ce_applied > 0
-                ? static_cast<double>(r.ce_delivered) /
-                      static_cast<double>(r.ce_applied)
-                : 1.0;
-        auto jp = stats::json::object();
-        jp.set("cca", p.label)
-            .set("impairment", p.profile->name)
-            .set("cross_traffic", p.cross)
-            .set("owd_ms", benchutil::box_json(r.owd_ms))
-            .set("owd_p99_ms", r.owd_ms.percentile(99))
-            .set("goodput_mbps", r.goodput_mbps)
-            .set("retransmits", r.retransmits)
-            .set("ce_applied", r.ce_applied)
-            .set("ce_delivered", r.ce_delivered)
-            .set("ce_delivery_ratio", ce_ratio)
-            .set("ecn_fallbacks", r.fallbacks)
-            .set("cross_packets", r.cross_packets);
-        json_points.push(std::move(jp));
-    }
-    t.print();
-    summary.set("points", std::move(json_points));
-    return benchutil::finish(args, summary);
+    const auto spec = scenario::builtin_scenario("ecn_impairment", args.quick);
+    if (!args.export_scenario.empty())
+        return scenario::write_scenario_file(args.export_scenario, spec);
+    return scenario::run_scenario(spec, args);
 }

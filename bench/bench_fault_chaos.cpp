@@ -7,202 +7,21 @@
 // stall transports, but nothing wedges — recovery is bounded (re-establish
 // backoff + signalling), interactive media resumes, and the no-fault
 // baseline rows show the fault machinery costs nothing when armed but idle.
-// Schedules come from topo::fault_plan, so every row is byte-identical for
-// any --jobs value.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "bench_util.h"
+//
+// The grid lives in the scenario engine as the "fault_chaos" builtin
+// (family fault_chaos). Schedules come from topo::fault_plan, so every row
+// is byte-identical for any --jobs value. --export-scenario PATH dumps the
+// (possibly --quick) grid as JSON.
 #include "scenario/grid_runner.h"
-#include "scenario/topology.h"
-#include "stats/json.h"
-#include "topo/fault_plan.h"
+#include "scenario/scenario_run.h"
 
 using namespace l4span;
-
-namespace {
-
-struct fault_profile {
-    std::string name;
-    double rlf = 0.0;       // per UE per second
-    double ho_fail = 0.0;   // per UE per second
-    double outage = 0.0;    // per cell per second
-    double flap = 0.0;      // per cell per second
-};
-
-struct chaos_point {
-    fault_profile profile;
-    std::string cca;
-    bool media;  // frame-paced interactive source on the transport
-};
-
-struct point_result {
-    stats::sample_set owd_ms;       // pooled over all flows
-    stats::sample_set tput_mbps;    // one sample per flow
-    stats::sample_set recovery_ms;  // per recovered fault
-    double stall_fraction = -1.0;   // media rows only
-    std::uint64_t retransmits = 0;
-    std::uint64_t injected = 0;
-    std::uint64_t rlf_detected = 0;
-    std::uint64_t reestablishments = 0;
-    std::uint64_t ho_failures = 0;
-    std::uint64_t ho_rollbacks = 0;
-    std::uint64_t events = 0;
-};
-
-point_result run_point(const chaos_point& p, sim::tick duration, int jobs,
-                       const std::string& obs_out)
-{
-    scenario::topology_spec spec;
-    spec.num_cells = 3;
-    spec.ues_per_cell = 3;
-    spec.cell.cu = scenario::cu_mode::l4span;
-    spec.cell.channel = "static";
-    spec.cell.seed = 41;
-    spec.wired_bps = 100e6;  // gives link flaps a hop to cut
-    spec.jobs = jobs;
-    if (!obs_out.empty()) {
-        // Flight recorder on: every injected fault dumps the firing shard's
-        // last-N trace events to <prefix>.incident-*.jsonl, and run() writes
-        // the end-of-run metrics + merged trace. Measured results must be
-        // byte-identical with or without this.
-        spec.cell.obs.enabled = true;
-        spec.cell.obs.out_prefix = obs_out;
-    }
-    scenario::topology topo(spec);
-
-    std::vector<int> handles;
-    for (int ue = 0; ue < topo.num_ues(); ++ue) {
-        scenario::flow_spec f;
-        f.cca = p.cca;
-        f.ue = ue;
-        f.max_cwnd = 1536 * 1024;
-        if (p.media) {
-            f.fps = 30.0;
-            f.frame_bitrate_bps = 6e6;
-        }
-        handles.push_back(topo.add_flow(f));
-    }
-
-    topo::fault_plan_config fc;
-    fc.num_cells = spec.num_cells;
-    fc.ues_per_cell = spec.ues_per_cell;
-    fc.start = sim::from_ms(800);
-    fc.end = duration - sim::from_ms(500);  // leave room to observe recovery
-    fc.seed = 23;
-    fc.rlf_per_ue_per_sec = p.profile.rlf;
-    fc.ho_failure_per_ue_per_sec = p.profile.ho_fail;
-    fc.outages_per_cell_per_sec = p.profile.outage;
-    fc.flaps_per_cell_per_sec = p.profile.flap;
-    if (fc.any_enabled()) topo.apply_faults(topo::fault_plan(fc));
-
-    topo.run(duration);
-
-    point_result r;
-    for (const int h : handles) {
-        for (double v : topo.owd_ms(h).raw()) r.owd_ms.add(v);
-        r.tput_mbps.add(topo.goodput_mbps(h));
-        r.retransmits += topo.flow_retransmits(h);
-        if (const auto* fs = topo.frame_stats(h)) {
-            if (r.stall_fraction < 0.0) r.stall_fraction = 0.0;
-            r.stall_fraction += fs->stall_fraction() /
-                                static_cast<double>(handles.size());
-        }
-    }
-    for (double v : topo.recovery_ms()) r.recovery_ms.add(v);
-    for (auto cls : {topo::fault_class::rlf, topo::fault_class::handover_failure,
-                     topo::fault_class::cell_outage, topo::fault_class::link_flap})
-        r.injected += topo.faults_injected(cls);
-    r.rlf_detected = topo.rlf_detected();
-    r.reestablishments = topo.reestablishments();
-    r.ho_failures = topo.ho_failures();
-    r.ho_rollbacks = topo.ho_rollbacks();
-    r.events = topo.processed_events();
-    return r;
-}
-
-}  // namespace
 
 int main(int argc, char** argv)
 {
     const auto args = scenario::parse_bench_args(argc, argv);
-    benchutil::header("Fault-injection chaos grid (fault class x transport)",
-                      "graceful degradation under RLF / handover failure / "
-                      "cell outage / link flaps: bounded recovery, no wedged "
-                      "flows, interactive media resumes after blackouts");
-
-    std::vector<fault_profile> profiles{
-        {"baseline", 0.0, 0.0, 0.0, 0.0},
-        {"rlf", 0.6, 0.0, 0.0, 0.0},
-        {"ho-failure", 0.0, 0.6, 0.0, 0.0},
-        {"cell-outage", 0.0, 0.0, 0.3, 0.0},
-        {"link-flap", 0.0, 0.0, 0.0, 0.5},
-        {"chaos-mix", 0.4, 0.3, 0.15, 0.25},
-    };
-    struct transport_row {
-        std::string cca;
-        bool media;
-    };
-    std::vector<transport_row> transports{
-        {"prague", false}, {"cubic", false}, {"quic-prague", true}};
-    sim::tick duration = sim::from_sec(6);
-    if (args.quick) {
-        profiles = {{"baseline", 0, 0, 0, 0}, {"chaos-mix", 0.4, 0.3, 0.15, 0.25}};
-        transports = {{"prague", false}};
-        duration = sim::from_sec(3);
-    }
-    const int jobs = args.jobs > 0 ? args.jobs : scenario::default_jobs();
-
-    auto summary = stats::json::object();
-    summary.set("figure", "fault_chaos").set("quick", args.quick);
-    auto json_points = stats::json::array();
-
-    stats::table t({"faults", "transport", "injected", "recov ms p50/p90",
-                    "OWD ms p10/p25/p50/p75/p90", "Mbit/s p50", "retx",
-                    "stall frac"});
-    for (const auto& profile : profiles) {
-        for (const auto& tr : transports) {
-            const chaos_point p{profile, tr.cca, tr.media};
-            const std::string obs =
-                args.obs_out.empty()
-                    ? std::string()
-                    : args.obs_out + "-" + profile.name + "-" + tr.cca +
-                          (tr.media ? "-media" : "");
-            const auto r = run_point(p, duration, jobs, obs);
-            char recov[64];
-            std::snprintf(recov, sizeof(recov), "%.0f/%.0f",
-                          r.recovery_ms.median(), r.recovery_ms.percentile(90));
-            char stall[32];
-            if (r.stall_fraction >= 0.0)
-                std::snprintf(stall, sizeof(stall), "%.3f", r.stall_fraction);
-            else
-                std::snprintf(stall, sizeof(stall), "-");
-            t.add_row({profile.name, tr.cca + (tr.media ? " (media)" : ""),
-                       std::to_string(r.injected),
-                       r.recovery_ms.count() ? recov : "-",
-                       benchutil::box(r.owd_ms),
-                       stats::table::num(r.tput_mbps.median(), 2),
-                       std::to_string(r.retransmits), stall});
-            auto jp = stats::json::object();
-            jp.set("faults", profile.name)
-                .set("cca", tr.cca)
-                .set("media", tr.media)
-                .set("faults_injected", r.injected)
-                .set("rlf_detected", r.rlf_detected)
-                .set("reestablishments", r.reestablishments)
-                .set("ho_failures", r.ho_failures)
-                .set("ho_rollbacks", r.ho_rollbacks)
-                .set("recovery_ms", benchutil::box_json(r.recovery_ms))
-                .set("owd_ms", benchutil::box_json(r.owd_ms))
-                .set("tput_mbps", benchutil::box_json(r.tput_mbps))
-                .set("retransmits", r.retransmits)
-                .set("stall_fraction", r.stall_fraction)
-                .set("sim_events", r.events);
-            json_points.push(std::move(jp));
-        }
-    }
-    t.print();
-    summary.set("points", std::move(json_points));
-    return benchutil::finish(args, summary);
+    const auto spec = scenario::builtin_scenario("fault_chaos", args.quick);
+    if (!args.export_scenario.empty())
+        return scenario::write_scenario_file(args.export_scenario, spec);
+    return scenario::run_scenario(spec, args);
 }

@@ -3,131 +3,22 @@
 // SDUs} x base RTT {38, 106} ms x channel {static, mobile} x {vanilla,
 // +L4Span}. Box statistics match the paper's plots (p10/p25/p50/p75/p90).
 //
-// The 96 grid points are independent cells; they fan out over
-// scenario::grid_runner (--jobs N, default all cores) and print in fixed
-// grid order, so stdout is byte-identical for any worker count.
-#include <cstdio>
-#include <string>
-#include <vector>
-
-#include "bench_util.h"
-#include "scenario/cell_scenario.h"
+// The grid lives in the scenario engine as the "fig09" builtin (family
+// tcp_grid): this binary is parse-args + run_scenario, so `l4span_run` on
+// the exported JSON prints the exact same bytes. The 96 grid points fan out
+// over scenario::grid_runner (--jobs N, default all cores) and print in
+// fixed grid order, so stdout is byte-identical for any worker count.
+// --export-scenario PATH dumps the (possibly --quick) grid as JSON.
 #include "scenario/grid_runner.h"
-#include "stats/json.h"
+#include "scenario/scenario_run.h"
 
 using namespace l4span;
-
-namespace {
-
-struct grid_point {
-    double rtt;
-    std::size_t queue;
-    int ues;
-    std::string cca;
-    std::string chan;
-    bool on;
-};
-
-benchutil::tcp_grid_result run_cell(const grid_point& p, sim::tick duration,
-                                    bool impair_noop, const std::string& obs_out)
-{
-    return benchutil::run_tcp_grid_cell(p.cca, p.ues, p.queue, p.rtt, p.chan, p.on,
-                                        1000, duration, impair_noop, obs_out);
-}
-
-}  // namespace
 
 int main(int argc, char** argv)
 {
     const auto args = scenario::parse_bench_args(argc, argv);
-    benchutil::header("Fig. 9: TCP one-way delay vs per-UE throughput grid",
-                      "L4Span cuts Prague/CUBIC median OWD by ~98% (static), ~97% "
-                      "(mobile), BBRv2 by ~52%, at <10% median throughput cost");
-    const sim::tick duration = sim::from_sec(6);
-    std::vector<double> rtts{19.0, 53.0};  // one-way; ~38 / ~106 ms RTT
-    std::vector<std::size_t> queues{16384, 256};
-    std::vector<int> ue_counts{16, 64};
-    std::vector<std::string> ccas{"prague", "bbr2", "cubic"};
-    std::vector<std::string> chans{"static", "mobile"};
-    if (args.quick) {  // 2-point CI slice: one cell, with and without L4Span
-        rtts = {19.0};
-        queues = {256};
-        ue_counts = {16};
-        ccas = {"prague"};
-        chans = {"static"};
-    }
-
-    std::vector<grid_point> points;
-    for (const double rtt : rtts)
-        for (const std::size_t queue : queues)
-            for (const int ues : ue_counts)
-                for (const auto& cca : ccas)
-                    for (const auto& chan : chans)
-                        for (const bool on : {false, true})
-                            points.push_back({rtt, queue, ues, cca, chan, on});
-
-    scenario::grid_runner pool(args.jobs);
-    std::fprintf(stderr, "fig09: %zu grid points on %d worker(s)\n", points.size(),
-                 pool.jobs());
-    const auto results =
-        pool.map(points.size(), [&](std::size_t i) {
-            // One artifact prefix per grid point, so parallel points never
-            // write over each other's JSONL files.
-            const std::string obs = args.obs_out.empty()
-                                        ? std::string()
-                                        : args.obs_out + "-" + std::to_string(i);
-            return run_cell(points[i], duration, args.impair_noop, obs);
-        });
-
-    auto summary = stats::json::object();
-    summary.set("figure", "fig09").set("quick", args.quick);
-    auto json_points = stats::json::array();
-
-    std::size_t idx = 0;
-    for (const double rtt : rtts) {
-        for (const std::size_t queue : queues) {
-            for (const int ues : ue_counts) {
-                std::printf("\n--- %d UEs, RLC queue %zu SDUs, base RTT %.0f ms ---\n",
-                            ues, queue, 2 * rtt);
-                stats::table t({"cca", "chan", "L4Span", "OWD ms p10/p25/p50/p75/p90",
-                                "per-UE Mbit/s p10..p90", "OWD reduction"});
-                for (const auto& cca : ccas) {
-                    for (const auto& chan : chans) {
-                        double base_median = 0.0;
-                        for (const bool on : {false, true}) {
-                            const auto& r = results[idx];
-                            const auto& p = points[idx];
-                            ++idx;
-                            std::string reduction = "-";
-                            double reduction_pct = 0.0;
-                            if (!on) {
-                                base_median = r.owd_ms.median();
-                            } else if (base_median > 0.0) {
-                                reduction_pct =
-                                    100.0 * (1.0 - r.owd_ms.median() / base_median);
-                                reduction = stats::table::num(reduction_pct, 1) + "%";
-                            }
-                            t.add_row({cca, chan, on ? "+" : "-",
-                                       benchutil::box(r.owd_ms),
-                                       benchutil::box(r.tput_mbps, 2), reduction});
-                            auto jp = stats::json::object();
-                            jp.set("cca", p.cca)
-                                .set("chan", p.chan)
-                                .set("l4span", p.on)
-                                .set("ues", p.ues)
-                                .set("rlc_queue_sdus", p.queue)
-                                .set("base_rtt_ms", 2 * p.rtt)
-                                .set("owd_ms", benchutil::box_json(r.owd_ms))
-                                .set("tput_mbps", benchutil::box_json(r.tput_mbps));
-                            if (on) jp.set("owd_reduction_pct", reduction_pct);
-                            json_points.push(std::move(jp));
-                        }
-                    }
-                }
-                t.print();
-            }
-        }
-    }
-    summary.set("points", std::move(json_points));
-    return benchutil::finish(args, summary);
+    const auto spec = scenario::builtin_scenario("fig09", args.quick);
+    if (!args.export_scenario.empty())
+        return scenario::write_scenario_file(args.export_scenario, spec);
+    return scenario::run_scenario(spec, args);
 }

@@ -3,108 +3,20 @@
 // flow's share: r_l4s/(r_l4s+r_classic) and RTT_l4s/(RTT_l4s+RTT_classic);
 // 50% on both axes is the fair outcome.
 //
-// The four strategies are independent cells fanned out over
-// scenario::grid_runner; stdout stays byte-identical for any worker count.
-#include <cstdio>
-#include <vector>
-
-#include "bench_util.h"
-#include "scenario/cell_scenario.h"
+// The grid lives in the scenario engine as the "fig16" builtin (family
+// shared_drb); the four strategies are independent cells fanned out over
+// scenario::grid_runner, byte-identical for any worker count.
+// --export-scenario PATH dumps the (possibly --quick) grid as JSON.
 #include "scenario/grid_runner.h"
-#include "stats/json.h"
+#include "scenario/scenario_run.h"
 
 using namespace l4span;
-
-namespace {
-
-struct strategy {
-    const char* label;
-    core::shared_drb_policy policy;
-};
-
-struct share_result {
-    double prague_mbps = 0.0;
-    double cubic_mbps = 0.0;
-    double prague_rtt_ms = 0.0;
-    double cubic_rtt_ms = 0.0;
-};
-
-share_result run_cell(const strategy& st, sim::tick duration)
-{
-    scenario::cell_spec cell;
-    cell.num_ues = 1;
-    cell.channel = "static";
-    cell.cu = scenario::cu_mode::l4span;
-    cell.separate_drbs_per_class = false;  // the low-end single-DRB UE
-    cell.l4s.shared_policy = st.policy;
-    cell.seed = 71;
-    scenario::cell_scenario s(cell);
-    scenario::flow_spec prague;
-    prague.cca = "prague";
-    const int hp = s.add_flow(prague);
-    scenario::flow_spec cubic;
-    cubic.cca = "cubic";
-    const int hc = s.add_flow(cubic);
-    s.run(duration);
-
-    share_result r;
-    r.prague_mbps = s.goodput_mbps(hp);
-    r.cubic_mbps = s.goodput_mbps(hc);
-    r.prague_rtt_ms = s.rtt_ms(hp).median();
-    r.cubic_rtt_ms = s.rtt_ms(hc).median();
-    return r;
-}
-
-}  // namespace
 
 int main(int argc, char** argv)
 {
     const auto args = scenario::parse_bench_args(argc, argv);
-    benchutil::header("Fig. 16: shared-DRB marking strategies",
-                      "'original' starves L4S, 'L4S-for-all' starves classic "
-                      "(~25%), 'classic-for-all' is noisy; L4Span's coupling "
-                      "lands near 50/50 with the least variance");
-    std::vector<strategy> strategies{
-        {"original", core::shared_drb_policy::original},
-        {"L4S-for-all", core::shared_drb_policy::l4s_all},
-        {"classic-for-all", core::shared_drb_policy::classic_all},
-        {"L4Span (coupled)", core::shared_drb_policy::coupled},
-    };
-    if (args.quick)  // CI slice: the strawman vs the paper's design
-        strategies = {strategies.front(), strategies.back()};
-    const sim::tick duration = sim::from_sec(15);
-
-    scenario::grid_runner pool(args.jobs);
-    std::fprintf(stderr, "fig16: %zu strategies on %d worker(s)\n", strategies.size(),
-                 pool.jobs());
-    const auto results = pool.map(strategies.size(), [&](std::size_t i) {
-        return run_cell(strategies[i], duration);
-    });
-
-    auto summary = stats::json::object();
-    summary.set("figure", "fig16").set("quick", args.quick);
-    auto json_points = stats::json::array();
-
-    stats::table t({"strategy", "L4S tput share (%)", "L4S RTT share (%)",
-                    "prague Mbit/s", "cubic Mbit/s"});
-    for (std::size_t i = 0; i < strategies.size(); ++i) {
-        const auto& r = results[i];
-        const double rp = r.prague_mbps, rc = r.cubic_mbps;
-        const double tp = r.prague_rtt_ms, tc = r.cubic_rtt_ms;
-        const double tput_share = rp + rc > 0 ? 100.0 * rp / (rp + rc) : 0;
-        const double rtt_share = tp + tc > 0 ? 100.0 * tp / (tp + tc) : 0;
-        t.add_row({strategies[i].label, stats::table::num(tput_share, 1),
-                   stats::table::num(rtt_share, 1), stats::table::num(rp, 2),
-                   stats::table::num(rc, 2)});
-        auto jp = stats::json::object();
-        jp.set("strategy", strategies[i].label)
-            .set("l4s_tput_share_pct", tput_share)
-            .set("l4s_rtt_share_pct", rtt_share)
-            .set("prague_mbps", rp)
-            .set("cubic_mbps", rc);
-        json_points.push(std::move(jp));
-    }
-    t.print();
-    summary.set("points", std::move(json_points));
-    return benchutil::finish(args, summary);
+    const auto spec = scenario::builtin_scenario("fig16", args.quick);
+    if (!args.export_scenario.empty())
+        return scenario::write_scenario_file(args.export_scenario, spec);
+    return scenario::run_scenario(spec, args);
 }

@@ -1,0 +1,119 @@
+#include "aqm/wred_dualq.h"
+
+#include <stdexcept>
+
+#include "net/ecn.h"
+
+namespace l4span::aqm {
+
+namespace {
+
+void validate_profile(const wred_profile& p, const std::string& where)
+{
+    if (p.max_bytes < p.min_bytes)
+        throw std::invalid_argument(where + ": max_bytes (" +
+                                    std::to_string(p.max_bytes) +
+                                    ") must be >= min_bytes (" +
+                                    std::to_string(p.min_bytes) + ")");
+    if (p.max_p < 0.0 || p.max_p > 1.0)
+        throw std::invalid_argument(where + ": max_p must be in [0, 1], got " +
+                                    std::to_string(p.max_p));
+}
+
+}  // namespace
+
+void wred_dualq_config::validate(const std::string& where) const
+{
+    validate_profile(l4s, where + ".l4s");
+    validate_profile(classic, where + ".classic");
+    if (l4s_weight < 1)
+        throw std::invalid_argument(where + ".l4s_weight must be >= 1, got " +
+                                    std::to_string(l4s_weight));
+    if (max_bytes == 0)
+        throw std::invalid_argument(where + ".max_bytes must be > 0");
+    if (ecn_drop_bytes > max_bytes)
+        throw std::invalid_argument(where + ".ecn_drop_bytes (" +
+                                    std::to_string(ecn_drop_bytes) +
+                                    ") must be <= max_bytes (" +
+                                    std::to_string(max_bytes) + ")");
+}
+
+wred_dualq_queue::wred_dualq_queue(wred_dualq_config cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    cfg_.validate("wred_dualq_config");
+}
+
+double wred_dualq_queue::ramp(const wred_profile& prof, std::size_t bytes)
+{
+    if (bytes < prof.min_bytes) return 0.0;
+    if (bytes >= prof.max_bytes) return prof.max_p;
+    const double span = static_cast<double>(prof.max_bytes - prof.min_bytes);
+    return prof.max_p * static_cast<double>(bytes - prof.min_bytes) / span;
+}
+
+bool wred_dualq_queue::enqueue(net::packet p, sim::tick now)
+{
+    const std::size_t total = bytes_l_ + bytes_c_;
+    if (total + p.size_bytes() > cfg_.max_bytes) {
+        ++drops_;
+        trace(now, obs::point::aqm_drop, obs::reason::queue_overflow, p);
+        return false;
+    }
+    // RFC 9331 classifier, same as DualPi2: ECT(1) and CE ride the L queue.
+    const bool l4s = p.ecn_field == net::ecn::ect1 || p.ecn_field == net::ecn::ce;
+    // Past the ECN drop point marking is no longer trusted: drop regardless
+    // of codepoint (the SST WRED tables' ecn_drop_point semantics).
+    if (cfg_.ecn_drop_bytes > 0 && total >= cfg_.ecn_drop_bytes) {
+        ++drops_;
+        trace(now, obs::point::aqm_drop,
+              l4s ? obs::reason::l4s_mark : obs::reason::classic_drop, p);
+        return false;
+    }
+    // Enqueue-time WRED decision on the target queue's occupancy.
+    const double prob = ramp(l4s ? cfg_.l4s : cfg_.classic, l4s ? bytes_l_ : bytes_c_);
+    if (rng_.bernoulli(prob)) {
+        if (net::is_ect(p.ecn_field)) {
+            p.ecn_field = net::ecn::ce;
+            ++marks_;
+            trace(now, obs::point::aqm_mark,
+                  l4s ? obs::reason::l4s_mark : obs::reason::classic_mark, p);
+        } else if (!net::is_ce(p.ecn_field)) {
+            ++drops_;
+            trace(now, obs::point::aqm_drop, obs::reason::classic_drop, p);
+            return false;
+        }
+        // CE already set upstream: nothing to add, the signal stands.
+    }
+    if (l4s) {
+        bytes_l_ += p.size_bytes();
+        lq_.push_back(std::move(p));
+    } else {
+        bytes_c_ += p.size_bytes();
+        cq_.push_back(std::move(p));
+    }
+    return true;
+}
+
+std::optional<net::packet> wred_dualq_queue::dequeue(sim::tick)
+{
+    // Weighted round-robin with L-queue preference, same shape as DualPi2's
+    // scheduler: serve L while it has packets, but let C through every
+    // l4s_weight packets so classic traffic cannot starve.
+    const bool serve_l = !lq_.empty() && (cq_.empty() || wrr_credit_ < cfg_.l4s_weight);
+    if (serve_l) {
+        ++wrr_credit_;
+        net::packet p = std::move(lq_.front());
+        lq_.pop_front();
+        bytes_l_ -= p.size_bytes();
+        return p;
+    }
+    wrr_credit_ = 0;
+    if (cq_.empty()) return std::nullopt;
+    net::packet p = std::move(cq_.front());
+    cq_.pop_front();
+    bytes_c_ -= p.size_bytes();
+    return p;
+}
+
+}  // namespace l4span::aqm

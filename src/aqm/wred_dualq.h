@@ -1,0 +1,89 @@
+// WRED-profile dual-queue AQM: an occupancy-ramp middlebox queue in the
+// style of switching-ASIC WRED tables (cf. the SST DualQ component's
+// JSON-loaded WRED profiles), as opposed to the sojourn-time PI control of
+// DualPi2. Two queues — L4S (ECT(1)/CE) and classic — each carry a linear
+// marking/dropping ramp over their own byte occupancy:
+//
+//   p(q) = 0                         for q <  min_bytes
+//   p(q) = max_p * (q - min) /
+//              (max - min)           for min <= q < max_bytes
+//   p(q) = max_p                     for q >= max_bytes
+//
+// A fired ramp decision marks CE on ECT packets and drops Not-ECT ones; the
+// shared `ecn_drop_bytes` point (the SST tables' ecn_drop_point) drops even
+// ECT packets once total occupancy passes it, bounding how long marking
+// alone is trusted. Decisions happen at enqueue (classic WRED), dequeue is
+// weighted round-robin with L-queue preference.
+//
+// There is intentionally NO compiled-in scenario using this queue: it is
+// reachable only through `cell_spec.bottleneck_aqm = "wred"` + the
+// `cell_spec.wred` parameters, which the scenario schema (docs/SCENARIOS.md)
+// exposes — the "new scenarios are data" proof for the scenario engine.
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "aqm/queue_discipline.h"
+#include "sim/rng.h"
+
+namespace l4span::aqm {
+
+// One linear WRED ramp over a queue's byte occupancy.
+struct wred_profile {
+    std::size_t min_bytes = 0;  // ramp start (below: never fire)
+    std::size_t max_bytes = 0;  // ramp end (above: fire with max_p)
+    double max_p = 1.0;         // probability at/above max_bytes
+};
+
+struct wred_dualq_config {
+    // Shallow ECN ramp for the latency-sensitive queue (~8..64 full-size
+    // packets), saturating at certain marking.
+    wred_profile l4s{8 * 1514, 64 * 1514, 1.0};
+    // Deeper, gentler ramp for classic traffic (~32..256 packets, 10%).
+    wred_profile classic{32 * 1514, 256 * 1514, 0.1};
+    // Total occupancy beyond which even ECT packets drop (0 disables).
+    std::size_t ecn_drop_bytes = 1 << 21;
+    // WRR: L4S packets served per classic packet under contention.
+    int l4s_weight = 4;
+    // Hard tail-drop limit on total occupancy.
+    std::size_t max_bytes = 1 << 24;
+    // RNG seed for the ramp draws. Scenario harnesses override this with a
+    // stream derived from the cell seed, so grids stay byte-identical for
+    // any --jobs value.
+    std::uint64_t seed = 9;
+
+    // Throws std::invalid_argument naming `where` with an actionable
+    // message on any inconsistent knob.
+    void validate(const std::string& where) const;
+};
+
+class wred_dualq_queue : public queue_discipline {
+public:
+    // Validates `cfg` (throws std::invalid_argument, see
+    // wred_dualq_config::validate).
+    explicit wred_dualq_queue(wred_dualq_config cfg = {});
+
+    bool enqueue(net::packet p, sim::tick now) override;
+    std::optional<net::packet> dequeue(sim::tick now) override;
+
+    std::size_t byte_count() const override { return bytes_l_ + bytes_c_; }
+    std::size_t packet_count() const override { return lq_.size() + cq_.size(); }
+
+    std::size_t l4s_bytes() const { return bytes_l_; }
+    std::size_t classic_bytes() const { return bytes_c_; }
+    // Current ramp probability for each queue (test introspection).
+    double l4s_probability() const { return ramp(cfg_.l4s, bytes_l_); }
+    double classic_probability() const { return ramp(cfg_.classic, bytes_c_); }
+
+private:
+    static double ramp(const wred_profile& prof, std::size_t bytes);
+
+    wred_dualq_config cfg_;
+    sim::rng rng_;
+    std::deque<net::packet> lq_, cq_;
+    std::size_t bytes_l_ = 0, bytes_c_ = 0;
+    int wrr_credit_ = 0;
+};
+
+}  // namespace l4span::aqm

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "aqm/wred_dualq.h"
 #include "chan/trace_channel.h"
 #include "core/l4span.h"
 #include "media/frame_source.h"
@@ -61,10 +62,14 @@ struct cell_spec {
     // cell_scenario only.
     double bottleneck_bps = 0.0;
     std::vector<std::pair<sim::tick, double>> bottleneck_schedule;
-    // Queue discipline of the wired bottleneck: "fifo" (default) or
+    // Queue discipline of the wired bottleneck: "fifo" (default),
     // "dualpi2" (an L4S-aware core router whose CE marks a downstream
-    // impairment stage can bleach). Consumed by cell_scenario only.
+    // impairment stage can bleach), or "wred" (occupancy-ramp dual queue,
+    // parameters in `wred`). Consumed by cell_scenario only.
     std::string bottleneck_aqm = "fifo";
+    // Parameters for bottleneck_aqm == "wred". No compiled-in bench sets
+    // these — the scenario schema (docs/SCENARIOS.md) is the only producer.
+    aqm::wred_dualq_config wred;
     // Optional uplink bottleneck on the server-side return path (FIFO):
     // ACKs and uplink feedback serialize through it, so a congested return
     // hop delays the downlink control loop. 0 keeps the return path

@@ -18,8 +18,13 @@ std::unique_ptr<aqm::queue_discipline> make_bottleneck_queue(const cell_spec& sp
         cfg.seed = topo::impairment_seed(spec.seed, /*lane=*/2, false);
         return std::make_unique<aqm::dualpi2_queue>(cfg);
     }
+    if (spec.bottleneck_aqm == "wred") {
+        aqm::wred_dualq_config cfg = spec.wred;
+        cfg.seed = topo::impairment_seed(spec.seed, /*lane=*/3, false);
+        return std::make_unique<aqm::wred_dualq_queue>(cfg);
+    }
     throw std::invalid_argument("unknown bottleneck AQM \"" + spec.bottleneck_aqm +
-                                "\" (valid: fifo, dualpi2)");
+                                "\" (valid: fifo, dualpi2, wred)");
 }
 
 }  // namespace

@@ -2,8 +2,296 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace l4span::stats {
+
+namespace {
+
+// Recursive-descent parser. Tracks 1-based line/column for diagnostics and
+// bounds nesting depth so adversarial input ("[[[[[...") cannot overflow
+// the call stack.
+class parser {
+public:
+    explicit parser(std::string_view text) : text_(text) {}
+
+    json run()
+    {
+        json v = value(0);
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing garbage after JSON value");
+        return v;
+    }
+
+private:
+    static constexpr int k_max_depth = 64;
+
+    [[noreturn]] void fail(const std::string& msg) const
+    {
+        throw json_parse_error(msg + " at line " + std::to_string(line_) +
+                                   ", column " + std::to_string(column()),
+                               line_, column());
+    }
+
+    int column() const
+    {
+        return static_cast<int>(pos_ - line_start_) + 1;
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    char get()
+    {
+        const char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            line_start_ = pos_;
+        }
+        return c;
+    }
+
+    void skip_ws()
+    {
+        while (!eof()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+            get();
+        }
+    }
+
+    void expect(char want, const char* what)
+    {
+        skip_ws();
+        if (eof()) fail(std::string("unexpected end of input, expected ") + what);
+        if (peek() != want)
+            fail(std::string("expected ") + what + ", got '" + peek() + "'");
+        get();
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) return false;
+        for (std::size_t i = 0; i < word.size(); ++i) get();
+        return true;
+    }
+
+    json value(int depth)
+    {
+        if (depth > k_max_depth) fail("nesting deeper than 64 levels");
+        skip_ws();
+        if (eof()) fail("unexpected end of input, expected a value");
+        const int at_line = line_;
+        json v;
+        const char c = peek();
+        if (c == '{') {
+            v = object_value(depth);
+        } else if (c == '[') {
+            v = array_value(depth);
+        } else if (c == '"') {
+            v = json(string_value());
+        } else if (c == 't') {
+            if (!literal("true")) fail("invalid literal (expected \"true\")");
+            v = json(true);
+        } else if (c == 'f') {
+            if (!literal("false")) fail("invalid literal (expected \"false\")");
+            v = json(false);
+        } else if (c == 'n') {
+            if (!literal("null")) fail("invalid literal (expected \"null\")");
+            v = json();
+        } else if (c == '-' || (c >= '0' && c <= '9')) {
+            v = json(number_value());
+        } else {
+            fail(std::string("unexpected character '") + c + "'");
+        }
+        v.set_line(at_line);
+        return v;
+    }
+
+    json object_value(int depth)
+    {
+        get();  // '{'
+        json obj = json::object();
+        skip_ws();
+        if (!eof() && peek() == '}') {
+            get();
+            return obj;
+        }
+        for (;;) {
+            skip_ws();
+            if (eof()) fail("unexpected end of input inside object");
+            if (peek() != '"') fail("expected a quoted object key");
+            const int key_line = line_;
+            std::string key = string_value();
+            if (obj.find(key))
+                throw json_parse_error("duplicate key \"" + key + "\" at line " +
+                                           std::to_string(key_line),
+                                       key_line, 1);
+            expect(':', "':' after object key");
+            obj.set(std::move(key), value(depth + 1));
+            skip_ws();
+            if (eof()) fail("unexpected end of input inside object");
+            const char c = get();
+            if (c == '}') return obj;
+            if (c != ',') fail("expected ',' or '}' in object");
+        }
+    }
+
+    json array_value(int depth)
+    {
+        get();  // '['
+        json arr = json::array();
+        skip_ws();
+        if (!eof() && peek() == ']') {
+            get();
+            return arr;
+        }
+        for (;;) {
+            arr.push(value(depth + 1));
+            skip_ws();
+            if (eof()) fail("unexpected end of input inside array");
+            const char c = get();
+            if (c == ']') return arr;
+            if (c != ',') fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string string_value()
+    {
+        get();  // '"'
+        std::string out;
+        for (;;) {
+            if (eof()) fail("unterminated string");
+            const char c = get();
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string (use \\u escapes)");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (eof()) fail("unterminated escape sequence");
+            const char e = get();
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (eof()) fail("unterminated \\u escape");
+                    const char h = get();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                    else fail("invalid hex digit in \\u escape");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs are not
+                // combined — scenario files are ASCII in practice).
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+                    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+                    out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+                }
+                break;
+            }
+            default: fail(std::string("invalid escape '\\") + e + "'");
+            }
+        }
+    }
+
+    double number_value()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-') get();
+        auto digits = [&] {
+            bool any = false;
+            while (!eof() && peek() >= '0' && peek() <= '9') {
+                get();
+                any = true;
+            }
+            return any;
+        };
+        if (!digits()) fail("invalid number (no digits)");
+        if (!eof() && peek() == '.') {
+            get();
+            if (!digits()) fail("invalid number (no digits after '.')");
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            get();
+            if (!eof() && (peek() == '+' || peek() == '-')) get();
+            if (!digits()) fail("invalid number (no digits in exponent)");
+        }
+        const std::string token(text_.substr(start, pos_ - start));
+        errno = 0;
+        char* end = nullptr;
+        const double v = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size() || !std::isfinite(v))
+            fail("number \"" + token + "\" out of range");
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    std::size_t line_start_ = 0;
+    int line_ = 1;
+};
+
+}  // namespace
+
+json json::parse(std::string_view text)
+{
+    return parser(text).run();
+}
+
+bool json::as_bool() const
+{
+    if (kind_ != kind::boolean) throw std::logic_error("json: not a boolean");
+    return bool_;
+}
+
+double json::as_number() const
+{
+    if (kind_ != kind::number) throw std::logic_error("json: not a number");
+    return num_;
+}
+
+const std::string& json::as_string() const
+{
+    if (kind_ != kind::string) throw std::logic_error("json: not a string");
+    return str_;
+}
+
+const std::vector<std::pair<std::string, json>>& json::members() const
+{
+    if (kind_ != kind::object) throw std::logic_error("json: not an object");
+    return members_;
+}
+
+const std::vector<json>& json::elements() const
+{
+    if (kind_ != kind::array) throw std::logic_error("json: not an array");
+    return elements_;
+}
+
+const json* json::find(std::string_view key) const
+{
+    if (kind_ != kind::object) return nullptr;
+    for (const auto& [k, v] : members_)
+        if (k == key) return &v;
+    return nullptr;
+}
 
 json& json::set(std::string key, json value)
 {
@@ -143,6 +431,19 @@ void json::write(std::string& out, int indent, int depth) const
         out.push_back(']');
         break;
     }
+}
+
+bool read_text_file(const std::string& path, std::string& out)
+{
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) return false;
+    out.clear();
+    char buf[65536];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    const bool ok = std::ferror(f) == 0;
+    std::fclose(f);
+    return ok;
 }
 
 bool write_text_file(const std::string& path, const std::string& text)

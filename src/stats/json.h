@@ -1,19 +1,42 @@
 // Minimal ordered JSON value tree + serializer for the machine-readable
-// per-figure benchmark summaries (BENCH_<fig>.json). Output is deterministic:
-// object keys keep insertion order and numbers are formatted with a fixed
-// shortest-roundtrip format, so a summary computed from identical results is
-// byte-identical regardless of how the grid was scheduled.
+// per-figure benchmark summaries (BENCH_<fig>.json) — and, since the
+// scenario engine, a recursive-descent *parser* so scenario files load back
+// into the same value type. Output is deterministic: object keys keep
+// insertion order and numbers are formatted with a fixed shortest-roundtrip
+// format, so a summary computed from identical results is byte-identical
+// regardless of how the grid was scheduled, and export -> parse -> export
+// of a scenario document is the identity on bytes.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 namespace l4span::stats {
 
+// Parse failure: the message already embeds "line L, column C" so callers
+// can surface it verbatim; the fields are exposed for tests and tooling.
+class json_parse_error : public std::runtime_error {
+public:
+    json_parse_error(const std::string& what, int line, int column)
+        : std::runtime_error(what), line_(line), column_(column)
+    {
+    }
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+private:
+    int line_;
+    int column_;
+};
+
 class json {
 public:
+    enum class kind : std::uint8_t { null, boolean, number, string, object, array };
+
     json() : kind_(kind::null) {}
     json(bool b) : kind_(kind::boolean), bool_(b) {}                     // NOLINT
     json(double v) : kind_(kind::number), num_(v) {}                     // NOLINT
@@ -26,6 +49,39 @@ public:
     static json object() { json j; j.kind_ = kind::object; return j; }
     static json array() { json j; j.kind_ = kind::array; return j; }
 
+    // Parses a JSON document. Throws json_parse_error (with 1-based
+    // line/column) on malformed input, trailing garbage, duplicate object
+    // keys, or nesting deeper than an internal bound (so byte soup cannot
+    // overflow the stack). Every parsed node remembers its source line —
+    // schema binders use it for "key X at line N" diagnostics.
+    static json parse(std::string_view text);
+
+    // --- inspection (parser side) ---
+    kind type() const { return kind_; }
+    bool is_null() const { return kind_ == kind::null; }
+    bool is_bool() const { return kind_ == kind::boolean; }
+    bool is_number() const { return kind_ == kind::number; }
+    bool is_string() const { return kind_ == kind::string; }
+    bool is_object() const { return kind_ == kind::object; }
+    bool is_array() const { return kind_ == kind::array; }
+
+    // Typed accessors: the caller is expected to have checked the kind
+    // (schema binders do and produce actionable errors); a mismatch throws
+    // std::logic_error as a programming-error backstop.
+    bool as_bool() const;
+    double as_number() const;
+    const std::string& as_string() const;
+    const std::vector<std::pair<std::string, json>>& members() const;
+    const std::vector<json>& elements() const;
+
+    // Object member lookup; nullptr when absent or not an object.
+    const json* find(std::string_view key) const;
+
+    // 1-based source line of this node when it came from parse(); 0 for
+    // programmatically built values.
+    int line() const { return line_; }
+    void set_line(int line) { line_ = line; }
+
     // Object member (insertion-ordered). Returns *this for chaining.
     json& set(std::string key, json value);
     // Array element.
@@ -37,8 +93,6 @@ public:
     std::string dump_compact() const;
 
 private:
-    enum class kind : std::uint8_t { null, boolean, number, string, object, array };
-
     void write(std::string& out, int indent, int depth) const;
     void write_compact(std::string& out) const;
     static void write_escaped(std::string& out, const std::string& s);
@@ -47,6 +101,7 @@ private:
     kind kind_;
     bool bool_ = false;
     double num_ = 0.0;
+    int line_ = 0;
     std::string str_;
     std::vector<std::pair<std::string, json>> members_;  // object
     std::vector<json> elements_;                         // array
@@ -55,5 +110,9 @@ private:
 // Writes `text` to `path` (creating parent-less paths as given); returns
 // false on I/O failure. Used by benches for their --json summaries.
 bool write_text_file(const std::string& path, const std::string& text);
+
+// Reads the whole file into `out`; returns false on I/O failure. Used by
+// the scenario loader.
+bool read_text_file(const std::string& path, std::string& out);
 
 }  // namespace l4span::stats

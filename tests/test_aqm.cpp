@@ -4,6 +4,7 @@
 #include "aqm/codel.h"
 #include "aqm/dualpi2.h"
 #include "aqm/fifo.h"
+#include "aqm/wred_dualq.h"
 
 using namespace l4span;
 using namespace l4span::aqm;
@@ -146,4 +147,158 @@ TEST(dualpi2, classic_starvation_guard)
         if (p && p->ecn_field == net::ecn::ect0) ++classic_seen;
     }
     EXPECT_GT(classic_seen, 0) << "WRR must not starve the classic queue";
+}
+
+// --- WRED dual-queue (schema-only AQM, scenario/scenario_spec) --------------
+
+TEST(wred_dualq, below_min_never_fires)
+{
+    wred_dualq_config cfg;
+    cfg.l4s = {10 * 1428, 100 * 1428, 1.0};
+    cfg.classic = {10 * 1428, 100 * 1428, 1.0};
+    wred_dualq_queue q(cfg);
+    for (int i = 0; i < 9; ++i) {
+        EXPECT_TRUE(q.enqueue(mk(net::ecn::ect1), 0));
+        EXPECT_TRUE(q.enqueue(mk(net::ecn::ect0), 0));
+    }
+    EXPECT_EQ(q.marks(), 0u);
+    EXPECT_EQ(q.drops(), 0u);
+    EXPECT_DOUBLE_EQ(q.l4s_probability(), 0.0);
+    EXPECT_DOUBLE_EQ(q.classic_probability(), 0.0);
+}
+
+TEST(wred_dualq, ramp_rises_and_saturates)
+{
+    wred_dualq_config cfg;
+    cfg.l4s = {2 * 1428, 10 * 1428, 1.0};
+    cfg.ecn_drop_bytes = 0;  // isolate the ramp
+    wred_dualq_queue q(cfg);
+    double last = -1.0;
+    for (int i = 0; i < 12; ++i) {
+        const double p = q.l4s_probability();
+        EXPECT_GE(p, last) << "ramp must be monotone in occupancy";
+        last = p;
+        q.enqueue(mk(net::ecn::ect1), 0);
+    }
+    EXPECT_DOUBLE_EQ(q.l4s_probability(), 1.0) << "at/above max_bytes: max_p";
+    EXPECT_GT(q.marks(), 0u) << "certain marking above the ramp end";
+}
+
+TEST(wred_dualq, classifies_by_ect_codepoint)
+{
+    wred_dualq_config cfg;
+    cfg.l4s = {1 << 20, 2 << 20, 1.0};  // ramps out of reach
+    cfg.classic = {1 << 20, 2 << 20, 1.0};
+    wred_dualq_queue q(cfg);
+    q.enqueue(mk(net::ecn::ect1), 0);
+    q.enqueue(mk(net::ecn::ce), 0);
+    q.enqueue(mk(net::ecn::ect0), 0);
+    q.enqueue(mk(net::ecn::not_ect), 0);
+    EXPECT_EQ(q.l4s_bytes(), 2u * 1428);
+    EXPECT_EQ(q.classic_bytes(), 2u * 1428);
+}
+
+TEST(wred_dualq, marks_ect_drops_not_ect)
+{
+    wred_dualq_config cfg;
+    cfg.classic = {0, 0, 1.0};  // min == max == 0: ramp is max_p at any occupancy
+    cfg.l4s = {1 << 20, 2 << 20, 1.0};
+    cfg.ecn_drop_bytes = 0;
+    wred_dualq_queue q(cfg);
+    EXPECT_TRUE(q.enqueue(mk(net::ecn::ect0), 0)) << "ECT is marked, not dropped";
+    auto p = q.dequeue(0);
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->ecn_field, net::ecn::ce);
+    EXPECT_EQ(q.marks(), 1u);
+    EXPECT_FALSE(q.enqueue(mk(net::ecn::not_ect), 0)) << "Not-ECT can only drop";
+    EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(wred_dualq, ecn_drop_point_drops_even_ect)
+{
+    wred_dualq_config cfg;
+    cfg.l4s = {1 << 20, 2 << 20, 1.0};  // per-queue ramps out of reach
+    cfg.classic = {1 << 20, 2 << 20, 1.0};
+    cfg.ecn_drop_bytes = 4 * 1428;
+    wred_dualq_queue q(cfg);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.enqueue(mk(net::ecn::ect1), 0));
+    EXPECT_FALSE(q.enqueue(mk(net::ecn::ect1), 0))
+        << "past ecn_drop_bytes marking is no longer trusted";
+    EXPECT_EQ(q.drops(), 1u);
+    EXPECT_EQ(q.marks(), 0u);
+}
+
+TEST(wred_dualq, tail_drop_at_max_bytes)
+{
+    wred_dualq_config cfg;
+    cfg.l4s = {1 << 20, 2 << 20, 1.0};
+    cfg.classic = {1 << 20, 2 << 20, 1.0};
+    cfg.ecn_drop_bytes = 0;
+    cfg.max_bytes = 3 * 1428;
+    wred_dualq_queue q(cfg);
+    EXPECT_TRUE(q.enqueue(mk(net::ecn::ect1), 0));
+    EXPECT_TRUE(q.enqueue(mk(net::ecn::ect0), 0));
+    EXPECT_TRUE(q.enqueue(mk(net::ecn::ect1), 0));
+    EXPECT_FALSE(q.enqueue(mk(net::ecn::ect0), 0));
+    EXPECT_EQ(q.drops(), 1u);
+}
+
+TEST(wred_dualq, wrr_prefers_l4s_without_starving_classic)
+{
+    wred_dualq_config cfg;
+    cfg.l4s = {1 << 20, 2 << 20, 1.0};
+    cfg.classic = {1 << 20, 2 << 20, 1.0};
+    cfg.l4s_weight = 4;
+    wred_dualq_queue q(cfg);
+    for (int i = 0; i < 20; ++i) {
+        q.enqueue(mk(net::ecn::ect1), 0);
+        q.enqueue(mk(net::ecn::ect0), 0);
+    }
+    int l4s_first = 0;
+    for (int i = 0; i < 5; ++i) {
+        auto p = q.dequeue(0);
+        ASSERT_TRUE(p);
+        if (p->ecn_field == net::ecn::ect1) ++l4s_first;
+    }
+    EXPECT_EQ(l4s_first, 4) << "l4s_weight L packets, then one classic";
+}
+
+TEST(wred_dualq, deterministic_for_fixed_seed)
+{
+    wred_dualq_config cfg;
+    cfg.l4s = {1428, 20 * 1428, 0.5};
+    cfg.classic = {1428, 20 * 1428, 0.5};
+    cfg.seed = 1234;
+    wred_dualq_queue a(cfg), b(cfg);
+    for (int i = 0; i < 200; ++i) {
+        const net::ecn e = (i % 3 == 0) ? net::ecn::ect0 : net::ecn::ect1;
+        EXPECT_EQ(a.enqueue(mk(e), i), b.enqueue(mk(e), i));
+        if (i % 2 == 0) {
+            auto pa = a.dequeue(i), pb = b.dequeue(i);
+            ASSERT_EQ(static_cast<bool>(pa), static_cast<bool>(pb));
+            if (pa) {
+                EXPECT_EQ(pa->ecn_field, pb->ecn_field);
+            }
+        }
+    }
+    EXPECT_EQ(a.marks(), b.marks());
+    EXPECT_EQ(a.drops(), b.drops());
+}
+
+TEST(wred_dualq, config_validation_names_the_knob)
+{
+    wred_dualq_config bad;
+    bad.l4s = {100, 50, 1.0};  // max < min
+    try {
+        wred_dualq_queue q(bad);
+        FAIL() << "inverted ramp must be rejected";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find(".l4s"), std::string::npos) << e.what();
+    }
+    wred_dualq_config bad2;
+    bad2.classic.max_p = 1.5;
+    EXPECT_THROW(wred_dualq_queue{bad2}, std::invalid_argument);
+    wred_dualq_config bad3;
+    bad3.l4s_weight = 0;
+    EXPECT_THROW(wred_dualq_queue{bad3}, std::invalid_argument);
 }

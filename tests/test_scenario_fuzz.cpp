@@ -1,0 +1,237 @@
+// Fuzz/property campaign for the scenario schema parser ("fuzz" CTest
+// label). parse_scenario_text must never crash, hang or throw anything but
+// scenario_error, no matter the input: byte soup, truncations of a valid
+// document, random single-byte mutations, duplicate keys, absurd values.
+// Diagnostics must name the offending key, and export -> parse -> export
+// must be the exact identity on bytes — including for a programmatically
+// built cell_flows spec exercising the WRED surface, which no compiled-in
+// bench produces.
+#include <cstdint>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+#include "scenario/scenario_run.h"
+#include "scenario/scenario_spec.h"
+#include "stats/json.h"
+
+using namespace l4span;
+using scenario::builtin_scenario;
+using scenario::export_scenario;
+using scenario::parse_scenario_text;
+using scenario::scenario_error;
+using scenario::scenario_spec;
+
+namespace {
+
+// parse() may accept (returning a spec) or reject with scenario_error;
+// any other exception type — or a crash — fails the campaign.
+void must_accept_or_diagnose(const std::string& text, const char* what)
+{
+    try {
+        (void)parse_scenario_text(text, "<fuzz>");
+    } catch (const scenario_error&) {
+        // expected failure mode
+    } catch (...) {
+        FAIL() << what << ": non-scenario_error escaped for input: "
+               << text.substr(0, 120);
+    }
+}
+
+// A generic cell_flows scenario on the WRED dual-queue bottleneck — the
+// schema surface no bench binary can produce.
+scenario_spec wred_cell_flows_spec()
+{
+    scenario_spec s;
+    s.figure = "wred_demo";
+    s.title = "WRED dual-queue cell";
+    s.paper_ref = "scenario-engine demo (no paper figure)";
+    s.family = "cell_flows";
+    s.quick = true;
+    s.duration = sim::from_ms(1500);
+    s.cell_flows.seeds = {7, 8};
+    auto& cell = s.cell_flows.cell;
+    cell.num_ues = 4;
+    cell.bottleneck_aqm = "wred";
+    cell.wred.l4s = {4 * 1514, 32 * 1514, 1.0};
+    cell.wred.classic = {16 * 1514, 128 * 1514, 0.08};
+    cell.wred.ecn_drop_bytes = 1 << 20;
+    cell.wred.l4s_weight = 8;
+    scenario::cell_flows_family::flow f;
+    f.spec.cca = "prague";
+    f.spec.ue = 0;
+    f.count = 2;
+    s.cell_flows.flows.push_back(f);
+    scenario::cell_flows_family::flow g;
+    g.spec.cca = "cubic";
+    g.spec.ue = 2;
+    g.count = 1;
+    s.cell_flows.flows.push_back(g);
+    return s;
+}
+
+}  // namespace
+
+TEST(scenario_fuzz, byte_soup_never_crashes)
+{
+    sim::rng rng(0xfeedbeef);
+    for (int iter = 0; iter < 400; ++iter) {
+        std::string soup;
+        const int len = static_cast<int>(rng.uniform_int(0, 300));
+        soup.reserve(static_cast<std::size_t>(len));
+        for (int i = 0; i < len; ++i)
+            soup.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+        must_accept_or_diagnose(soup, "byte soup");
+    }
+}
+
+TEST(scenario_fuzz, structured_soup_never_crashes)
+{
+    // Soup biased toward JSON punctuation and schema vocabulary: reaches
+    // deeper parser states than uniform bytes.
+    static const char* frags[] = {
+        "{", "}", "[", "]", ":", ",", "\"", "true", "false", "null",
+        "1e308", "-0.0", "1e-308", "9223372036854775807",
+        "\"schema\"", "\"l4span-scenario-v1\"", "\"family\"", "\"tcp_grid\"",
+        "\"duration_s\"", "\"cell\"", "\"wred\"", "\"flows\"", "\\u0000",
+    };
+    sim::rng rng(0xc0ffee);
+    for (int iter = 0; iter < 400; ++iter) {
+        std::string soup;
+        const int n = static_cast<int>(rng.uniform_int(1, 40));
+        for (int i = 0; i < n; ++i) {
+            soup += frags[rng.uniform_int(
+                0, static_cast<std::int64_t>(std::size(frags)) - 1)];
+            if (rng.bernoulli(0.3)) soup += ' ';
+        }
+        must_accept_or_diagnose(soup, "structured soup");
+    }
+}
+
+TEST(scenario_fuzz, every_truncation_of_valid_export_diagnosed)
+{
+    const std::string full =
+        export_scenario(builtin_scenario("fig09", true)).dump();
+    // Cuts inside trailing whitespace still leave a complete document; every
+    // cut before the closing brace must be diagnosed.
+    const std::size_t last_brace = full.find_last_of('}');
+    ASSERT_NE(last_brace, std::string::npos);
+    for (std::size_t cut = 0; cut <= last_brace; ++cut) {
+        try {
+            (void)parse_scenario_text(full.substr(0, cut), "<truncated>");
+            FAIL() << "truncation at byte " << cut << " must not parse";
+        } catch (const scenario_error&) {
+        } catch (...) {
+            FAIL() << "non-scenario_error at truncation byte " << cut;
+        }
+    }
+}
+
+TEST(scenario_fuzz, single_byte_mutations_never_crash)
+{
+    const std::string full =
+        export_scenario(builtin_scenario("ecn_impairment", true)).dump();
+    sim::rng rng(99);
+    for (int iter = 0; iter < 600; ++iter) {
+        std::string mut = full;
+        const auto pos = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(mut.size()) - 1));
+        mut[pos] = static_cast<char>(rng.uniform_int(0, 255));
+        must_accept_or_diagnose(mut, "single-byte mutation");
+    }
+}
+
+TEST(scenario_fuzz, duplicate_key_diagnosed_with_name_and_line)
+{
+    std::string text = export_scenario(builtin_scenario("fig16", true)).dump();
+    const std::string needle = "\"seed\":";
+    const auto pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos, "\"seed\": 1, ");
+    try {
+        parse_scenario_text(text, "<dup>");
+        FAIL() << "duplicate key must be rejected";
+    } catch (const scenario_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("seed"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+    }
+}
+
+TEST(scenario_fuzz, absurd_values_diagnosed_with_key)
+{
+    // Each case: a valid fig09 export with one value replaced by something
+    // absurd; the diagnostic must carry the key name.
+    const std::string base =
+        export_scenario(builtin_scenario("fig09", true)).dump();
+    struct edit {
+        const char* needle;
+        const char* replacement;
+        const char* key_in_msg;
+    };
+    const edit edits[] = {
+        {"\"duration_s\": 6", "\"duration_s\": -5", "duration_s"},
+        {"\"duration_s\": 6", "\"duration_s\": 1e9", "duration_s"},
+        {"\"seed_base\": 1000", "\"seed_base\": 1e30", "seed_base"},
+        {"\"ue_counts\": [\n      16\n    ]", "\"ue_counts\": [\n      0\n    ]",
+         "ue_counts"},
+        {"\"ue_counts\": [\n      16\n    ]", "\"ue_counts\": []", "ue_counts"},
+        {"\"queues_sdus\": [\n      256\n    ]",
+         "\"queues_sdus\": [\n      -3\n    ]", "queues_sdus"},
+        {"\"ccas\": [\n      \"prague\"\n    ]", "\"ccas\": [\n      42\n    ]",
+         "ccas"},
+        {"\"rtts_ms\": [\n      19\n    ]",
+         "\"rtts_ms\": [\n      \"fast\"\n    ]", "rtts_ms"},
+    };
+    for (const auto& e : edits) {
+        SCOPED_TRACE(e.replacement);
+        std::string text = base;
+        const auto pos = text.find(e.needle);
+        ASSERT_NE(pos, std::string::npos) << e.needle;
+        text.replace(pos, std::string(e.needle).size(), e.replacement);
+        try {
+            parse_scenario_text(text, "<absurd>");
+            FAIL() << "must reject " << e.replacement;
+        } catch (const scenario_error& ex) {
+            EXPECT_NE(std::string(ex.what()).find(e.key_in_msg),
+                      std::string::npos)
+                << ex.what();
+        }
+    }
+}
+
+TEST(scenario_fuzz, export_parse_export_exact_for_all_specs)
+{
+    // Builtins in both forms plus the WRED cell_flows spec: export must be
+    // a fixpoint of parse ∘ export on bytes.
+    std::vector<scenario_spec> specs;
+    for (const char* name : {"fig09", "fig16", "ecn_impairment", "fault_chaos"}) {
+        specs.push_back(builtin_scenario(name, false));
+        specs.push_back(builtin_scenario(name, true));
+    }
+    specs.push_back(wred_cell_flows_spec());
+    for (const auto& spec : specs) {
+        SCOPED_TRACE(spec.figure);
+        const std::string once = export_scenario(spec).dump();
+        const auto reparsed = parse_scenario_text(once, "<rt>");
+        const std::string twice = export_scenario(reparsed).dump();
+        EXPECT_EQ(once, twice);
+    }
+}
+
+TEST(scenario_fuzz, wred_spec_parses_back_to_wred_queue_params)
+{
+    const auto spec = wred_cell_flows_spec();
+    const auto reparsed =
+        parse_scenario_text(export_scenario(spec).dump(), "<wred>");
+    const auto& w = reparsed.cell_flows.cell.wred;
+    EXPECT_EQ(reparsed.cell_flows.cell.bottleneck_aqm, "wred");
+    EXPECT_EQ(w.l4s.min_bytes, 4u * 1514);
+    EXPECT_EQ(w.l4s.max_bytes, 32u * 1514);
+    EXPECT_DOUBLE_EQ(w.classic.max_p, 0.08);
+    EXPECT_EQ(w.ecn_drop_bytes, std::size_t{1} << 20);
+    EXPECT_EQ(w.l4s_weight, 8);
+}

@@ -1,0 +1,190 @@
+// Conformance suite for the scenario engine (ISSUE: schema-driven
+// experiment harness). Pins the three load-bearing properties:
+//
+//   1. export -> parse -> export is the identity on bytes, for every
+//      builtin scenario in both full and --quick form;
+//   2. running a builtin through the scenario engine and running its
+//      exported JSON back through parse + run_scenario produces
+//      byte-identical stdout and JSON summaries — the bench binary and
+//      `l4span_run` are thin wrappers over exactly these two calls, so
+//      this is the bench-vs-driver byte-identity claim, in-process;
+//   3. results are independent of --jobs (1 vs 4 on a scenario file).
+//
+// Plus: file-path round-trip via write_scenario_file/load_scenario_file,
+// and validation diagnostics naming the offending key and source line.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "scenario/grid_runner.h"
+#include "scenario/scenario_run.h"
+#include "scenario/scenario_spec.h"
+#include "stats/json.h"
+
+using namespace l4span;
+using scenario::bench_args;
+using scenario::builtin_scenario;
+using scenario::export_scenario;
+using scenario::parse_scenario_text;
+using scenario::run_scenario;
+using scenario::scenario_error;
+using scenario::scenario_spec;
+
+namespace {
+
+// Runs a spec with stdout captured; returns {stdout bytes, summary dump}.
+struct run_output {
+    std::string out;
+    std::string summary;
+};
+
+run_output run_captured(const scenario_spec& spec, int jobs)
+{
+    bench_args args;
+    args.jobs = jobs;
+    args.quick = spec.quick;
+    stats::json summary;
+    testing::internal::CaptureStdout();
+    const int rc = run_scenario(spec, args, &summary);
+    run_output r;
+    r.out = testing::internal::GetCapturedStdout();
+    r.summary = summary.dump();
+    EXPECT_EQ(rc, 0);
+    return r;
+}
+
+const char* k_builtins[] = {"fig09", "fig16", "ecn_impairment", "fault_chaos"};
+
+}  // namespace
+
+TEST(scenario_spec, export_parse_export_is_identity_for_builtins)
+{
+    for (const char* name : k_builtins) {
+        for (bool quick : {false, true}) {
+            SCOPED_TRACE(std::string(name) + (quick ? " --quick" : ""));
+            const auto spec = builtin_scenario(name, quick);
+            const std::string once = export_scenario(spec).dump();
+            const auto reparsed = parse_scenario_text(once, "<roundtrip>");
+            EXPECT_EQ(export_scenario(reparsed).dump(), once);
+        }
+    }
+}
+
+// The bench binaries call builtin_scenario() + run_scenario(); l4span_run
+// calls parse + run_scenario(). Equal output here means a bench and its
+// exported scenario file produce byte-identical stdout and summaries.
+TEST(scenario_spec, builtin_and_reparsed_export_run_byte_identical)
+{
+    for (const char* name : k_builtins) {
+        SCOPED_TRACE(name);
+        const auto spec = builtin_scenario(name, /*quick=*/true);
+        const auto reparsed =
+            parse_scenario_text(export_scenario(spec).dump(), "<export>");
+        const auto a = run_captured(spec, /*jobs=*/2);
+        const auto b = run_captured(reparsed, /*jobs=*/2);
+        EXPECT_EQ(a.out, b.out);
+        EXPECT_EQ(a.summary, b.summary);
+        EXPECT_FALSE(a.out.empty());
+        EXPECT_NE(a.summary.find("\"figure\""), std::string::npos);
+    }
+}
+
+TEST(scenario_spec, results_independent_of_jobs)
+{
+    const auto spec = builtin_scenario("fig09", /*quick=*/true);
+    const auto serial = run_captured(spec, /*jobs=*/1);
+    const auto sharded = run_captured(spec, /*jobs=*/4);
+    EXPECT_EQ(serial.out, sharded.out);
+    EXPECT_EQ(serial.summary, sharded.summary);
+}
+
+TEST(scenario_spec, file_roundtrip_through_disk)
+{
+    const auto spec = builtin_scenario("fig16", /*quick=*/true);
+    const std::string path = testing::TempDir() + "l4span_scn_rt.json";
+    ASSERT_EQ(scenario::write_scenario_file(path, spec), 0);
+    const auto loaded = scenario::load_scenario_file(path);
+    EXPECT_EQ(export_scenario(loaded).dump(), export_scenario(spec).dump());
+    std::remove(path.c_str());
+}
+
+TEST(scenario_spec, missing_file_names_the_path)
+{
+    try {
+        scenario::load_scenario_file("/nonexistent/l4span.json");
+        FAIL() << "unreadable path must throw";
+    } catch (const scenario_error& e) {
+        EXPECT_NE(std::string(e.what()).find("/nonexistent/l4span.json"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(scenario_spec, unknown_key_error_names_key_and_line)
+{
+    auto doc = export_scenario(builtin_scenario("fig09", true));
+    // Inject an unknown key into the tcp_grid section and find its line.
+    std::string text = doc.dump();
+    const std::string needle = "\"seed_base\"";
+    const auto pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    text.insert(pos, "\"rtts_msec\": [1.0], ");
+    try {
+        parse_scenario_text(text, "<test>");
+        FAIL() << "unknown key must be rejected";
+    } catch (const scenario_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("rtts_msec"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line"), std::string::npos) << msg;
+        // Diagnostic lists the valid keys so the fix is one glance away.
+        EXPECT_NE(msg.find("rtts_ms"), std::string::npos) << msg;
+    }
+}
+
+TEST(scenario_spec, out_of_range_value_names_key)
+{
+    auto doc = export_scenario(builtin_scenario("ecn_impairment", true));
+    std::string text = doc.dump();
+    const std::string needle = "\"loss\": 0";
+    const auto pos = text.find(needle);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, needle.size(), "\"loss\": 2.5");
+    try {
+        parse_scenario_text(text, "<test>");
+        FAIL() << "loss probability > 1 must be rejected";
+    } catch (const scenario_error& e) {
+        EXPECT_NE(std::string(e.what()).find("loss"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(scenario_spec, wrong_schema_tag_rejected)
+{
+    EXPECT_THROW(
+        parse_scenario_text(R"({"schema": "l4span-scenario-v0"})", "<test>"),
+        scenario_error);
+    EXPECT_THROW(parse_scenario_text(R"({"figure": "x"})", "<test>"),
+                 scenario_error);
+}
+
+TEST(scenario_spec, unknown_family_lists_valid_ones)
+{
+    try {
+        parse_scenario_text(
+            R"({"schema": "l4span-scenario-v1", "figure": "x", "title": "t",)"
+            R"( "paper_ref": "r", "family": "mesh", "quick": false,)"
+            R"( "duration_s": 1})",
+            "<test>");
+        FAIL() << "unknown family must be rejected";
+    } catch (const scenario_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("mesh"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("cell_flows"), std::string::npos) << msg;
+    }
+}
+
+TEST(scenario_spec, builtin_unknown_name_throws)
+{
+    EXPECT_THROW(builtin_scenario("fig99", false), scenario_error);
+}
